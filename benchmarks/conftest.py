@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+All benchmarks share one session-scoped :class:`Pipeline` at benchmark
+scale, so models are trained once and reused across table/figure targets.
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round) — these are experiment-regeneration targets, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ExperimentScale, Pipeline
+
+
+def pytest_collection_modifyitems(config, items):
+    """Run benchmarks in definition order (cheap shared-cache warmup first)."""
+    items.sort(key=lambda item: item.fspath.basename)
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> Pipeline:
+    scale = ExperimentScale.small()
+    return Pipeline(scale)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Ablation: location-of-interest pruning in the time-based attack.
+
+The paper prunes the candidate space to locations whose observed
+confidence reaches 1%.  This ablation measures what pruning buys: query
+count drops substantially while accuracy stays comparable (the pruned-out
+locations are ones the model would score near zero anyway).
+"""
+
+from benchmarks.conftest import run_once
+from repro.attacks import AdversaryClass, TimeBasedAttack
+from repro.data import SpatialLevel
+from repro.eval import run_attack_over_targets
+
+
+def run_ablation(pipeline):
+    targets = pipeline.attack_targets(SpatialLevel.BUILDING)
+    n = pipeline.scale.attack_instances_per_user
+    with_pruning = run_attack_over_targets(
+        targets,
+        lambda target: TimeBasedAttack(candidate_locations=target.pruned_locations),
+        AdversaryClass.A1,
+        n,
+    )
+    without_pruning = run_attack_over_targets(
+        targets,
+        lambda target: TimeBasedAttack(candidate_locations=None),
+        AdversaryClass.A1,
+        n,
+    )
+    return with_pruning, without_pruning
+
+
+def test_ablation_pruning(pipeline, benchmark):
+    with_pruning, without_pruning = run_once(benchmark, run_ablation, pipeline)
+    acc_with = {k: 100.0 * with_pruning.accuracy(k) for k in (1, 3, 5)}
+    acc_without = {k: 100.0 * without_pruning.accuracy(k) for k in (1, 3, 5)}
+    print("\n[Ablation] confidence-threshold pruning (time-based, A1)")
+    print(f"  with pruning:    acc={acc_with} queries={with_pruning.total_queries}")
+    print(f"  without pruning: acc={acc_without} queries={without_pruning.total_queries}")
+
+    # Pruning cuts the search space markedly...
+    assert with_pruning.total_queries < 0.8 * without_pruning.total_queries
+    # ...without destroying attack accuracy.
+    assert acc_with[3] >= acc_without[3] - 15.0
+
+    benchmark.extra_info["queries"] = {
+        "with": with_pruning.total_queries,
+        "without": without_pruning.total_queries,
+    }
+    benchmark.extra_info["accuracy"] = {"with": acc_with, "without": acc_without}

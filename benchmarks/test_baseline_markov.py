@@ -1,0 +1,49 @@
+"""Extension: Markov-chain baselines vs neural personalization.
+
+The paper's related work (§II) notes that personalized mobility modeling
+was "generally conducted via Markov models" before deep learning.  This
+benchmark adds per-user Markov chains (order-2 with back-off, and a
+time-aware variant) to the Table III comparison, grounding the LSTM
+results against the classical approach.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.data import SpatialLevel
+from repro.eval import format_table
+from repro.models import MarkovChainModel, PersonalizationMethod, TimeAwareMarkovModel
+
+
+def run_comparison(pipeline):
+    level = SpatialLevel.BUILDING
+    spec = pipeline.spec(level)
+    rows = {}
+    neural_top3, markov_top3, time_markov_top3 = [], [], []
+    for uid in pipeline.attack_users():
+        artifact = pipeline.personal(uid, level, PersonalizationMethod.TL_FE)
+        predictor = artifact.predictor(spec)
+        X, y = artifact.test.encode()
+        neural_top3.append(predictor.top_k_accuracy(X, y, 3))
+        markov = MarkovChainModel(spec.num_locations, order=2).fit(artifact.train)
+        markov_top3.append(markov.top_k_accuracy(artifact.test, 3))
+        time_markov = TimeAwareMarkovModel(spec.num_locations).fit(artifact.train)
+        time_markov_top3.append(time_markov.top_k_accuracy(artifact.test, 3))
+    rows["tl_fe (neural)"] = 100 * float(np.mean(neural_top3))
+    rows["markov order-2"] = 100 * float(np.mean(markov_top3))
+    rows["time-aware markov"] = 100 * float(np.mean(time_markov_top3))
+    return rows
+
+
+def test_baseline_markov(pipeline, benchmark):
+    rows = run_once(benchmark, run_comparison, pipeline)
+    print("\n[Extension] per-user baselines, building level, mean top-3 accuracy (%)")
+    print(format_table(["model", "top-3"], [[k, v] for k, v in rows.items()]))
+
+    # The classical baselines are competent but the TL-personalized LSTM
+    # should at least match the plain order-2 chain.
+    assert rows["tl_fe (neural)"] >= rows["markov order-2"] - 10.0
+    # Time-awareness helps the Markov baseline on diurnal campus data.
+    assert rows["time-aware markov"] >= rows["markov order-2"] - 5.0
+
+    benchmark.extra_info["top3"] = rows

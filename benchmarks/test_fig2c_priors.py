@@ -1,0 +1,31 @@
+"""Figure 2c: impact of the nature of prior knowledge p.
+
+Paper shapes: the attack without a prior ("none") is least effective; the
+true prior is best; predict/estimate trail true by a modest margin (5-10%
+in the paper), so the attack is not sensitive to prior precision.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.eval import render_accuracy_grid, run_prior_comparison
+
+
+def test_fig2c_priors(pipeline, benchmark):
+    ks = tuple(range(1, 11))
+    results = run_once(benchmark, run_prior_comparison, pipeline, ks=ks)
+    print("\n[Fig 2c] prior knowledge (time-based, A1, building level)")
+    print(render_accuracy_grid(results, "prior"))
+
+    assert set(results) == {"true", "none", "predict", "estimate"}
+
+    def mean_acc(name):
+        return float(np.mean(list(results[name].values())))
+
+    # True prior dominates no prior on average.
+    assert mean_acc("true") >= mean_acc("none")
+    # Observation-derived priors land within a sane band of the true prior.
+    assert mean_acc("predict") >= mean_acc("none") - 10.0
+    assert abs(mean_acc("true") - mean_acc("predict")) <= 25.0
+
+    benchmark.extra_info["accuracy"] = results

@@ -1,0 +1,29 @@
+"""Figure 3a: impact of spatial scale (building vs access point).
+
+Paper shape: the attack leaks *less* at the finer AP scale — the larger
+domain makes reconstruction harder — and leakage grows with k at both
+scales.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.eval import render_accuracy_grid, run_spatial_comparison
+
+
+def test_fig3a_spatial_scale(pipeline, benchmark):
+    ks = tuple(range(1, 11))
+    results = run_once(benchmark, run_spatial_comparison, pipeline, ks=ks)
+    print("\n[Fig 3a] spatial scale (time-based, A1)")
+    print(render_accuracy_grid(results, "level"))
+
+    building = results["building"]
+    ap = results["ap"]
+
+    # Building-level leaks at least as much as AP-level on average.
+    assert float(np.mean(list(building.values()))) >= float(np.mean(list(ap.values())))
+    # Leakage grows with k at both scales.
+    assert building[10] >= building[1]
+    assert ap[10] >= ap[1]
+
+    benchmark.extra_info["accuracy"] = results

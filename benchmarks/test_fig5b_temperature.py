@@ -1,0 +1,29 @@
+"""Figure 5b: impact of varying the privacy parameter (temperature).
+
+Paper shape: as the temperature decreases (1e-1 -> 1e-5) the leakage
+reduction grows, then flattens once confidences are fully saturated.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import render_series, run_temperature_sweep
+
+
+def test_fig5b_temperature_sweep(pipeline, benchmark):
+    temperatures = (5e-1, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+    results = run_once(
+        benchmark, run_temperature_sweep, pipeline, temperatures=temperatures
+    )
+    print("\n[Fig 5b] mean leakage reduction (%) vs privacy temperature (k=1..9)")
+    for temperature, reduction in results.items():
+        print(f"  T={temperature:g}: {reduction:.1f}%")
+
+    assert set(results) == set(temperatures)
+    # Saturated temperatures beat (or match) the mildest one, and the curve
+    # flattens: the last two temperatures agree closely.
+    assert results[1e-4] >= results[5e-1] - 5.0
+    assert abs(results[1e-4] - results[1e-5]) <= 10.0
+    assert all(0.0 <= v <= 100.0 for v in results.values())
+
+    benchmark.extra_info["reduction_by_temperature"] = {
+        str(t): v for t, v in results.items()
+    }

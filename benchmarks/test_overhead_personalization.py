@@ -1,0 +1,30 @@
+"""§V-C2: overhead of cloud training vs device personalization.
+
+Paper shape: general-model training (grid search + full fit over all
+contributors) costs orders of magnitude more compute than one user's
+transfer-learning personalization (43,000 vs ~15 billion CPU cycles;
+4.55 hours vs ~6.6 seconds).  The absolute paper numbers come from their
+hardware; the *ratio* is the reproducible claim.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import render_overhead, run_overhead_comparison
+
+
+def test_overhead_personalization(pipeline, benchmark):
+    result = run_once(benchmark, run_overhead_comparison, pipeline)
+    print("\n[§V-C2] compute overhead: cloud general training vs device personalization")
+    print(render_overhead(result))
+
+    for method in ("tl_fe", "tl_ft"):
+        ratio = result.ratio(method)
+        # Cloud training must dominate by a wide margin.
+        assert ratio > 20.0, f"cloud/device ratio too small for {method}: {ratio:.1f}"
+
+    assert result.cloud.macs > 0
+    assert all(r.macs > 0 for r in result.device_per_method.values())
+
+    benchmark.extra_info["cloud_billion_cycles"] = result.cloud.estimated_billion_cycles
+    benchmark.extra_info["ratios"] = {
+        m: result.ratio(m) for m in result.device_per_method
+    }

@@ -1,0 +1,46 @@
+"""Table III: train/test accuracy of the four personalization methods.
+
+Paper shapes: Reuse is worst everywhere; transfer-learning methods beat
+the scratch LSTM on test accuracy; TL-FE shows the smallest train/test
+gap (least overfitting); AP-level accuracy is lower than building-level.
+"""
+
+from benchmarks.conftest import run_once
+from repro.data import SpatialLevel
+from repro.eval import render_personalization, run_personalization_comparison
+
+
+def test_table3_personalization(pipeline, benchmark):
+    results = run_once(
+        benchmark,
+        run_personalization_comparison,
+        pipeline,
+        levels=(SpatialLevel.BUILDING, SpatialLevel.AP),
+    )
+    print("\n[Table III] personalization methods (100-user aggregate in the paper)")
+    print(render_personalization(results))
+
+    for level in ("building", "ap"):
+        rows = {row.method: row for row in results[level]}
+        # Reuse (the unpersonalized baseline) loses to every TL method.
+        assert rows["tl_fe"].test_top3 > rows["reuse"].test_top3
+        assert rows["tl_ft"].test_top3 > rows["reuse"].test_top3
+        # Top-k accuracy is monotone in k.
+        for row in rows.values():
+            assert row.test_top1 <= row.test_top2 <= row.test_top3
+
+    building = {row.method: row for row in results["building"]}
+    ap = {row.method: row for row in results["ap"]}
+    # The AP task (larger domain) is harder.
+    assert ap["tl_fe"].test_top1 < building["tl_fe"].test_top1
+
+    # TL-FE overfits least among the trained personalization methods.
+    def gap(row):
+        return row.train_top1 - row.test_top1
+
+    assert gap(building["tl_fe"]) <= gap(building["tl_ft"]) + 10.0
+
+    benchmark.extra_info["table"] = {
+        level: {r.method: [r.train_top1, r.test_top1, r.test_top2, r.test_top3] for r in rows}
+        for level, rows in results.items()
+    }

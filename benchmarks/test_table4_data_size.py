@@ -1,0 +1,34 @@
+"""Table IV: personalization accuracy vs training-data size (2-8 weeks).
+
+Paper shapes: transfer-learning methods degrade gracefully with less data
+and improve with more; the scratch LSTM is the most overfitting-prone
+(large train/test gap at small sizes).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import render_training_sweep, run_training_size_sweep
+
+
+def test_table4_training_data_size(pipeline, benchmark):
+    results = run_once(benchmark, run_training_size_sweep, pipeline, weeks=(2, 4, 6, 8))
+    print("\n[Table IV] training-data size sweep (building level)")
+    print(render_training_sweep(results))
+
+    assert set(results) == {2, 4, 6, 8}
+
+    def row(weeks, method):
+        return next(r for r in results[weeks] if r.method == method)
+
+    # More data helps the TL methods (allowing small-sample noise).
+    assert row(8, "tl_fe").test_top3 >= row(2, "tl_fe").test_top3 - 5.0
+    assert row(8, "tl_ft").test_top3 >= row(2, "tl_ft").test_top3 - 5.0
+
+    # The scratch LSTM overfits hardest at the smallest size.
+    lstm_gap = row(2, "lstm").train_top1 - row(2, "lstm").test_top1
+    tl_fe_gap = row(2, "tl_fe").train_top1 - row(2, "tl_fe").test_top1
+    assert lstm_gap >= tl_fe_gap - 5.0
+
+    benchmark.extra_info["table"] = {
+        weeks: {r.method: [r.train_top1, r.test_top1, r.test_top3] for r in rows}
+        for weeks, rows in results.items()
+    }

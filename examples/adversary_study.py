@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Adversary study: who can reconstruct your location history, and how?
+
+Reproduces the paper's §IV analysis on a small corpus: the three attack
+methods (brute force, gradient descent, time-based enumeration), the three
+adversary classes (A1/A2/A3 of Table I), and the four prior-knowledge modes
+(Fig 2c) — printing an attack-accuracy matrix like the paper's figures.
+
+Run:  python examples/adversary_study.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.attacks import (
+    AdversaryClass,
+    BruteForceAttack,
+    GradientDescentAttack,
+    PriorMethod,
+    TimeBasedAttack,
+    attack_user,
+    build_prior,
+    prune_locations,
+)
+from repro.attacks.runner import AttackEvaluation
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.models import (
+    GeneralModelConfig,
+    NextLocationPredictor,
+    PersonalizationConfig,
+    PersonalizationMethod,
+    personalize,
+    train_general_model,
+)
+
+KS = (1, 3, 5, 7)
+INSTANCES = 12
+
+
+def build_targets():
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_buildings=30, num_contributors=10, num_personal_users=3, num_days=42, seed=29
+        )
+    )
+    level = SpatialLevel.BUILDING
+    spec = corpus.spec(level)
+    train, _ = corpus.contributor_dataset(level).split_by_user(0.8)
+    general, _ = train_general_model(
+        train, GeneralModelConfig(hidden_size=40, epochs=12, patience=5), np.random.default_rng(0)
+    )
+    targets = {}
+    for uid in corpus.personal_ids:
+        user_train, user_test = corpus.user_dataset(uid, level).split(0.8)
+        model, _ = personalize(
+            general,
+            user_train,
+            PersonalizationMethod.TL_FE,
+            PersonalizationConfig(epochs=15, patience=5),
+            np.random.default_rng(uid),
+        )
+        predictor = NextLocationPredictor(model, spec)
+        targets[uid] = (predictor, user_train, user_test)
+    return spec, targets
+
+
+def evaluate(spec, targets, attack_factory, adversary, prior_method):
+    evaluation = AttackEvaluation(attack_name="study", adversary=adversary)
+    for uid, (predictor, user_train, user_test) in targets.items():
+        prior = build_prior(
+            prior_method,
+            spec.num_locations,
+            train_dataset=user_train,
+            predictor=predictor,
+            probe_windows=user_test,
+        )
+        pruned = prune_locations(predictor, user_test)
+        evaluation.per_user[uid] = attack_user(
+            attack_factory(pruned), predictor, user_test, adversary, prior, INSTANCES
+        )
+    return evaluation
+
+
+def row(label, evaluation, seconds):
+    accs = "  ".join(f"top-{k} {100 * evaluation.accuracy(k):5.1f}%" for k in KS)
+    print(f"  {label:<22} {accs}   [{seconds:5.1f}s, {evaluation.total_queries:>8} queries]")
+
+
+def main() -> None:
+    spec, targets = build_targets()
+
+    print("=== Attack methods (adversary A1, true prior) — paper Fig 2a / Table II ===")
+    methods = {
+        "brute force": lambda pruned: BruteForceAttack(),
+        "gradient descent": lambda pruned: GradientDescentAttack(),
+        "time-based": lambda pruned: TimeBasedAttack(candidate_locations=pruned),
+    }
+    for name, factory in methods.items():
+        started = time.perf_counter()
+        evaluation = evaluate(spec, targets, factory, AdversaryClass.A1, PriorMethod.TRUE)
+        row(name, evaluation, time.perf_counter() - started)
+
+    print("\n=== Adversarial knowledge (time-based, true prior) — paper Fig 2b ===")
+    for adversary in AdversaryClass:
+        started = time.perf_counter()
+        evaluation = evaluate(
+            spec,
+            targets,
+            lambda pruned: TimeBasedAttack(candidate_locations=pruned),
+            adversary,
+            PriorMethod.TRUE,
+        )
+        row(f"{adversary.value} ({'+'.join(map(str, adversary.missing_steps))} missing)",
+            evaluation, time.perf_counter() - started)
+
+    print("\n=== Prior knowledge (time-based, A1) — paper Fig 2c ===")
+    for prior_method in PriorMethod:
+        started = time.perf_counter()
+        evaluation = evaluate(
+            spec,
+            targets,
+            lambda pruned: TimeBasedAttack(candidate_locations=pruned),
+            AdversaryClass.A1,
+            prior_method,
+        )
+        row(prior_method.value, evaluation, time.perf_counter() - started)
+
+    print(
+        "\nTakeaway (paper §IV): the time-based attack matches brute force at a"
+        "\nfraction of the cost, works for every adversary class, and degrades"
+        "\nonly mildly with imprecise priors."
+    )
+
+
+if __name__ == "__main__":
+    main()

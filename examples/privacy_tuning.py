@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Privacy tuning: choosing your temperature (paper §V-B, Fig 5b).
+
+Pelican's privacy enhancement is *user-centric*: each user picks a
+temperature T that controls how much confidence information their deployed
+model reveals.  This example sweeps T for one user and prints the
+trade-off surface the user navigates:
+
+* service utility  — top-k accuracy of their recommendations (should be
+  flat: the defense is designed to never hurt it);
+* privacy leakage — the accuracy of a time-based inversion attack against
+  their model (should fall as T shrinks);
+* confidence sharpness — what the service provider actually observes.
+
+Run:  python examples/privacy_tuning.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    AdversaryClass,
+    PriorMethod,
+    TimeBasedAttack,
+    attack_user,
+    build_prior,
+    prune_locations,
+)
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.models import (
+    GeneralModelConfig,
+    NextLocationPredictor,
+    PersonalizationConfig,
+    PersonalizationMethod,
+    personalize,
+    train_general_model,
+)
+from repro.pelican import confidence_sharpness, leakage_reduction
+
+TEMPERATURES = [1.0, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+
+
+def main() -> None:
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_buildings=30, num_contributors=10, num_personal_users=1, num_days=42, seed=17
+        )
+    )
+    level = SpatialLevel.BUILDING
+    spec = corpus.spec(level)
+    train, _ = corpus.contributor_dataset(level).split_by_user(0.8)
+    general, _ = train_general_model(
+        train, GeneralModelConfig(hidden_size=40, epochs=12, patience=5), np.random.default_rng(0)
+    )
+    uid = corpus.personal_ids[0]
+    user_train, user_test = corpus.user_dataset(uid, level).split(0.8)
+    personal, _ = personalize(
+        general,
+        user_train,
+        PersonalizationMethod.TL_FE,
+        PersonalizationConfig(epochs=15, patience=5),
+        np.random.default_rng(1),
+    )
+    prior = build_prior(PriorMethod.TRUE, spec.num_locations, train_dataset=user_train)
+    X, y = user_test.encode()
+
+    print(f"privacy tuning for user {uid} ({len(user_test)} test windows)\n")
+    header = (
+        f"{'T':>8}  {'svc top-3':>9}  {'attack top-3':>12}  "
+        f"{'reduction':>9}  {'sharpness':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    baseline_attack = None
+    for temperature in TEMPERATURES:
+        model = personal.copy(np.random.default_rng(2))
+        model.set_privacy_temperature(temperature)
+        predictor = NextLocationPredictor(model, spec)
+
+        service_top3 = predictor.top_k_accuracy(X, y, 3)
+        probes = np.stack([spec.encode_sequence(w.history) for w in user_test.windows[:20]])
+        sharpness = confidence_sharpness(predictor.confidences_encoded(probes))
+
+        attack = TimeBasedAttack(candidate_locations=prune_locations(predictor, user_test))
+        result = attack_user(
+            attack, predictor, user_test, AdversaryClass.A1, prior, max_instances=25
+        )
+        attack_top3 = result.accuracy(3)
+        if baseline_attack is None:
+            baseline_attack = attack_top3
+        reduction = leakage_reduction(baseline_attack, attack_top3)
+        print(
+            f"{temperature:>8g}  {service_top3:>9.2%}  {attack_top3:>12.2%}  "
+            f"{reduction:>8.1f}%  {sharpness:>9.3f}"
+        )
+
+    print(
+        "\nReading the table: service accuracy is temperature-invariant (the"
+        "\nprivacy layer preserves class ordering), confidences saturate toward"
+        "\n1.0 as T shrinks, and the inversion attack loses accuracy — the"
+        "\nuser dials privacy without paying utility."
+    )
+
+
+if __name__ == "__main__":
+    main()

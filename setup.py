@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so PEP 517 editable installs fail. `python setup.py develop` (or the .pth
+fallback) provides the equivalent of `pip install -e .`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Reproduction of Atrey, Shenoy & Jensen, "Preserving Privacy in
+Personalized Models for Distributed Mobile Services" (ICDCS 2021).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch deep-learning substrate (autograd, LSTM, optimizers).
+``repro.data``
+    Synthetic campus-WiFi mobility substrate and feature pipeline.
+``repro.models``
+    Next-location prediction: general model + personalization methods.
+``repro.attacks``
+    Time-series model-inversion attacks (brute force / gradient /
+    time-based) under adversaries A1/A2/A3.
+``repro.pelican``
+    The Pelican privacy-preserving personalization framework.
+``repro.eval``
+    Experiment runners regenerating every paper table and figure.
+
+Quickstart
+----------
+>>> from repro.eval import ExperimentScale, Pipeline, run_attack_methods
+>>> pipeline = Pipeline(ExperimentScale.tiny())
+>>> results = run_attack_methods(pipeline, ks=(1, 3))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,78 @@
+"""``repro.attacks`` — time-series model-inversion attacks (paper §III-B).
+
+Three attack methods (brute force, gradient descent with temperature
+softening, time-based enumeration), three adversary classes (A1/A2/A3),
+four prior-knowledge modes, plus candidate pruning and population-level
+attack evaluation.
+"""
+
+from repro.attacks.adversary import (
+    T_MINUS_1,
+    T_MINUS_2,
+    AdversaryClass,
+    AttackInstance,
+    build_instance,
+    build_instances,
+)
+from repro.attacks.base import (
+    AttackOutput,
+    InversionAttack,
+    Reconstruction,
+    encode_candidates,
+    query_output_confidence,
+    rank_locations,
+)
+from repro.attacks.brute_force import BruteForceAttack
+from repro.attacks.candidates import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    SearchSpace,
+    prune_locations,
+)
+from repro.attacks.gradient import GradientAttackConfig, GradientDescentAttack
+from repro.attacks.priors import (
+    PriorMethod,
+    build_prior,
+    estimated_prior,
+    predicted_prior,
+    true_prior,
+    uniform_prior,
+)
+from repro.attacks.runner import (
+    AttackEvaluation,
+    UserAttackResult,
+    attack_user,
+    evaluate_attack,
+)
+from repro.attacks.time_based import TimeBasedAttack
+
+__all__ = [
+    "AdversaryClass",
+    "AttackEvaluation",
+    "AttackInstance",
+    "AttackOutput",
+    "BruteForceAttack",
+    "DEFAULT_CONFIDENCE_THRESHOLD",
+    "GradientAttackConfig",
+    "GradientDescentAttack",
+    "InversionAttack",
+    "PriorMethod",
+    "Reconstruction",
+    "SearchSpace",
+    "T_MINUS_1",
+    "T_MINUS_2",
+    "TimeBasedAttack",
+    "UserAttackResult",
+    "attack_user",
+    "build_instance",
+    "build_instances",
+    "build_prior",
+    "encode_candidates",
+    "estimated_prior",
+    "evaluate_attack",
+    "predicted_prior",
+    "prune_locations",
+    "query_output_confidence",
+    "rank_locations",
+    "true_prior",
+    "uniform_prior",
+]

@@ -1,0 +1,101 @@
+"""Adversary knowledge models (paper Table I).
+
+The service provider is honest-but-curious: it has black-box access to the
+personal model ``M_P``, knowledge of the prior ``p``, and observes the model
+output ``l_t``.  The three adversary classes differ in which historical
+sequences they additionally know:
+
+* **A1** knows ``x_{t-2}`` but not ``x_{t-1}``; goal: recover ``l_{t-1}``.
+* **A2** knows ``x_{t-1}`` but not ``x_{t-2}``; goal: recover ``l_{t-2}``.
+* **A3** knows neither; goal: recover ``l_{t-1}`` or ``l_{t-2}``.
+
+Day-of-week is treated as context known to all adversaries (the provider
+knows when its queries happen), matching the paper's single-sensitive-
+variable assumption (location is the sensitive feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.data.dataset import Window
+from repro.data.features import SessionFeatures
+
+# Timestep indices inside a window: 0 is x_{t-2}, 1 is x_{t-1}.
+T_MINUS_2 = 0
+T_MINUS_1 = 1
+
+
+class AdversaryClass(str, Enum):
+    """The three adversaries of Table I."""
+
+    A1 = "A1"
+    A2 = "A2"
+    A3 = "A3"
+
+    @property
+    def known_steps(self) -> Tuple[int, ...]:
+        if self is AdversaryClass.A1:
+            return (T_MINUS_2,)
+        if self is AdversaryClass.A2:
+            return (T_MINUS_1,)
+        return ()
+
+    @property
+    def missing_steps(self) -> Tuple[int, ...]:
+        if self is AdversaryClass.A1:
+            return (T_MINUS_1,)
+        if self is AdversaryClass.A2:
+            return (T_MINUS_2,)
+        return (T_MINUS_2, T_MINUS_1)
+
+
+@dataclass(frozen=True)
+class AttackInstance:
+    """One concrete attack problem derived from a ground-truth window.
+
+    Attributes
+    ----------
+    known:
+        Timestep index -> fully known session features.
+    missing:
+        Timestep indices the adversary must reconstruct.
+    observed_output:
+        The model output ``l_t`` the provider observed (ground truth next
+        location of the window).
+    day_of_week:
+        Query-time context, known to every adversary.
+    truth:
+        Ground-truth features of the missing steps (used only for scoring).
+    """
+
+    adversary: AdversaryClass
+    known: Dict[int, SessionFeatures]
+    missing: Tuple[int, ...]
+    observed_output: int
+    day_of_week: int
+    truth: Dict[int, SessionFeatures]
+
+    def true_location(self, step: int) -> int:
+        return self.truth[step].location
+
+
+def build_instance(window: Window, adversary: AdversaryClass) -> AttackInstance:
+    """Derive the adversary's view of one window."""
+    known = {step: window.history[step] for step in adversary.known_steps}
+    truth = {step: window.history[step] for step in adversary.missing_steps}
+    return AttackInstance(
+        adversary=adversary,
+        known=known,
+        missing=adversary.missing_steps,
+        observed_output=window.target,
+        day_of_week=window.history[T_MINUS_1].day_of_week,
+        truth=truth,
+    )
+
+
+def build_instances(windows: List[Window], adversary: AdversaryClass) -> List[AttackInstance]:
+    """Vector version of :func:`build_instance`."""
+    return [build_instance(w, adversary) for w in windows]

@@ -1,0 +1,73 @@
+"""Brute-force model inversion (paper §III-B2, Table II / Fig 2a).
+
+"The simplest and most computationally expensive form of enumeration ...
+an adversary enumerates through all the features in an unknown sequence":
+every (entry bin, duration bin, location) combination of the missing
+timestep is queried, and candidates are scored by the model's confidence in
+the observed output weighted by the prior.
+
+Supports adversaries with a single missing timestep (A1/A2); A3 would need
+the joint product space, which the paper does not evaluate under brute
+force either (its Fig 2a uses the default adversary A1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.attacks.adversary import AttackInstance
+from repro.attacks.base import (
+    InversionAttack,
+    Reconstruction,
+    encode_candidates,
+    query_output_confidence,
+    rank_locations,
+)
+from repro.attacks.candidates import SearchSpace
+from repro.models.predictor import NextLocationPredictor
+
+
+class BruteForceAttack(InversionAttack):
+    """Exhaustive enumeration over every feature bin of the missing step."""
+
+    name = "brute force"
+
+    def __init__(self, tie_break: str = "id") -> None:
+        self.tie_break = tie_break
+
+    def reconstruct(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        if len(instance.missing) != 1:
+            raise ValueError(
+                "brute-force attack supports a single missing timestep (A1/A2); "
+                f"got {len(instance.missing)} missing steps ({instance.adversary.value})"
+            )
+        spec = predictor.spec
+        space = SearchSpace.full(spec.num_locations, spec.duration_bins, spec.entry_bins)
+        step = instance.missing[0]
+
+        entry_grid, duration_grid, location_grid = (
+            arr.ravel()
+            for arr in np.meshgrid(
+                space.entry_bins, space.duration_bins, space.locations, indexing="ij"
+            )
+        )
+        n = len(entry_grid)
+        batch = encode_candidates(
+            spec,
+            instance.known,
+            {step: {"entry": entry_grid, "duration": duration_grid, "location": location_grid}},
+            instance.day_of_week,
+            n,
+        )
+        confidence = query_output_confidence(predictor, batch, instance.observed_output)
+        scores = confidence * prior[location_grid]
+        ranked, ranked_scores = rank_locations(location_grid, scores, prior, self.tie_break)
+        recon = Reconstruction(step=step, ranked_locations=ranked, scores=ranked_scores)
+        return {step: recon}, n

@@ -1,0 +1,115 @@
+"""Attack orchestration and aggregate metrics (paper §IV).
+
+Runs an inversion attack across a population of personal users, collecting
+the paper's measures:
+
+* **aggregate attack accuracy at top-k** — percentage of historical
+  locations correctly identified (Fig 2/3 y-axis);
+* **per-user accuracy** — for the degree-of-mobility and predictability
+  analyses (Fig 3b/3c);
+* **total runtime and query counts** — for Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.adversary import AdversaryClass, AttackInstance, build_instances
+from repro.attacks.base import AttackOutput, InversionAttack
+from repro.data.dataset import SequenceDataset
+from repro.models.predictor import NextLocationPredictor
+
+
+@dataclass
+class UserAttackResult:
+    """All attack outputs against one user's personal model."""
+
+    user_id: int
+    outputs: List[AttackOutput] = field(default_factory=list)
+
+    def accuracy(self, k: int) -> float:
+        """Fraction of missing-step reconstructions with a top-k hit."""
+        hits = [hit for output in self.outputs for hit in output.hits(k)]
+        return float(np.mean(hits)) if hits else float("nan")
+
+    @property
+    def total_queries(self) -> int:
+        return sum(output.num_queries for output in self.outputs)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(output.elapsed_seconds for output in self.outputs)
+
+
+@dataclass
+class AttackEvaluation:
+    """Attack results across the personal-user population."""
+
+    attack_name: str
+    adversary: AdversaryClass
+    per_user: Dict[int, UserAttackResult] = field(default_factory=dict)
+
+    def accuracy(self, k: int) -> float:
+        """Aggregate attack accuracy (pooled over all reconstructions)."""
+        hits = [
+            hit
+            for result in self.per_user.values()
+            for output in result.outputs
+            for hit in output.hits(k)
+        ]
+        return float(np.mean(hits)) if hits else float("nan")
+
+    def accuracy_series(self, ks: Sequence[int]) -> Dict[int, float]:
+        return {k: self.accuracy(k) for k in ks}
+
+    def per_user_accuracy(self, k: int) -> Dict[int, float]:
+        return {uid: result.accuracy(k) for uid, result in self.per_user.items()}
+
+    @property
+    def total_queries(self) -> int:
+        return sum(result.total_queries for result in self.per_user.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(result.total_seconds for result in self.per_user.values())
+
+
+def attack_user(
+    attack: InversionAttack,
+    predictor: NextLocationPredictor,
+    windows: SequenceDataset,
+    adversary: AdversaryClass,
+    prior: np.ndarray,
+    max_instances: Optional[int] = None,
+) -> UserAttackResult:
+    """Attack every (or the first ``max_instances``) window of one user."""
+    selected = windows.windows[:max_instances] if max_instances else windows.windows
+    instances = build_instances(list(selected), adversary)
+    user_id = selected[0].user_id if selected else -1
+    result = UserAttackResult(user_id=user_id)
+    for instance in instances:
+        result.outputs.append(attack.run(instance, predictor, prior))
+    return result
+
+
+def evaluate_attack(
+    attack: InversionAttack,
+    targets: Dict[int, tuple],
+    adversary: AdversaryClass,
+    max_instances: Optional[int] = None,
+) -> AttackEvaluation:
+    """Attack a population.
+
+    ``targets[user_id]`` is a tuple ``(predictor, attack_windows, prior)``
+    — the user's personal model behind its black-box interface, the windows
+    to attack, and the adversary's prior for that user.
+    """
+    evaluation = AttackEvaluation(attack_name=attack.name, adversary=adversary)
+    for user_id, (predictor, windows, prior) in targets.items():
+        evaluation.per_user[user_id] = attack_user(
+            attack, predictor, windows, adversary, prior, max_instances
+        )
+    return evaluation

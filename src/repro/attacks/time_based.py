@@ -1,0 +1,238 @@
+"""Time-based enumeration attack (paper §III-B2, the proposed method).
+
+Exploits two structural properties of mobile trajectories:
+
+* **Continuity** — devices are always associated somewhere, so consecutive
+  sessions chain in time: ``e_{t-1} = e_{t-2} + d_{t-2}``.  The missing
+  timestep's entry time is therefore *derived* instead of enumerated.
+* **Locations of interest** — only locations whose black-box confidence
+  ever reaches a threshold are enumerated (see
+  :func:`repro.attacks.candidates.prune_locations`).
+
+Together these cut the search space by ~two orders of magnitude relative to
+brute force (paper Table II: 82.18h -> 0.68h for 100 users) while matching
+its accuracy (Fig 2a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.adversary import T_MINUS_1, T_MINUS_2, AttackInstance
+from repro.attacks.base import (
+    InversionAttack,
+    Reconstruction,
+    encode_candidates,
+    query_output_confidence,
+    rank_locations,
+)
+from repro.data.features import (
+    FeatureSpec,
+    discretize_entry,
+    duration_bin_to_minute,
+    entry_bin_to_minute,
+)
+from repro.models.predictor import NextLocationPredictor
+
+MINUTES_PER_DAY = 24 * 60
+
+
+def _derive_entry_bin(anchor_minute: float, spec: FeatureSpec) -> int:
+    clamped = int(np.clip(anchor_minute, 0, MINUTES_PER_DAY - 1))
+    return discretize_entry(clamped)
+
+
+class TimeBasedAttack(InversionAttack):
+    """Smart enumeration using cross-sequence time correlation.
+
+    Parameters
+    ----------
+    candidate_locations:
+        Pruned locations of interest (from ``prune_locations``); ``None``
+        enumerates the full domain.
+    a3_entry_stride / a3_duration_stride:
+        Grid coarsening for the doubly-missing A3 adversary, which must
+        additionally enumerate the anchor entry time.
+    """
+
+    name = "time-based"
+
+    def __init__(
+        self,
+        candidate_locations: Optional[np.ndarray] = None,
+        entry_slack: int = 1,
+        a3_entry_stride: int = 4,
+        a3_duration_stride: int = 4,
+        tie_break: str = "id",
+    ) -> None:
+        self.candidate_locations = candidate_locations
+        self.entry_slack = entry_slack
+        self.a3_entry_stride = a3_entry_stride
+        self.a3_duration_stride = a3_duration_stride
+        self.tie_break = tie_break
+
+    def _entry_candidates(self, anchor_minute: float, spec: FeatureSpec) -> np.ndarray:
+        """Derived entry bin ± slack.
+
+        Discretization makes the continuity arithmetic inexact (bin starts
+        vs. bin midpoints can disagree by up to one 30-minute bin), so the
+        attack hedges with a small window around the derived bin.
+        """
+        center = _derive_entry_bin(anchor_minute, spec)
+        lo = max(0, center - self.entry_slack)
+        hi = min(spec.entry_bins - 1, center + self.entry_slack)
+        return np.arange(lo, hi + 1)
+
+    # ------------------------------------------------------------------
+    def reconstruct(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        if instance.missing == (T_MINUS_1,):
+            return self._attack_missing_t1(instance, predictor, prior)
+        if instance.missing == (T_MINUS_2,):
+            return self._attack_missing_t2(instance, predictor, prior)
+        return self._attack_missing_both(instance, predictor, prior)
+
+    def _locations(self, spec: FeatureSpec) -> np.ndarray:
+        if self.candidate_locations is None:
+            return np.arange(spec.num_locations)
+        return np.asarray(self.candidate_locations)
+
+    # ------------------------------------------------------------------
+    # A1: x_{t-2} known, x_{t-1} missing
+    # ------------------------------------------------------------------
+    def _attack_missing_t1(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        spec = predictor.spec
+        known = instance.known[T_MINUS_2]
+        # Continuity: the missing session starts when the known one ends.
+        entries = self._entry_candidates(
+            entry_bin_to_minute(known.entry_bin) + duration_bin_to_minute(known.duration_bin),
+            spec,
+        )
+        locations = self._locations(spec)
+        durations = np.arange(spec.duration_bins)
+        entry_grid, duration_grid, location_grid = (
+            arr.ravel() for arr in np.meshgrid(entries, durations, locations, indexing="ij")
+        )
+        return self._score_single_step(
+            instance, predictor, prior, T_MINUS_1, entry_grid, duration_grid, location_grid
+        )
+
+    # ------------------------------------------------------------------
+    # A2: x_{t-1} known, x_{t-2} missing
+    # ------------------------------------------------------------------
+    def _attack_missing_t2(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        spec = predictor.spec
+        known = instance.known[T_MINUS_1]
+        locations = self._locations(spec)
+        durations = np.arange(spec.duration_bins)
+        duration_grid, location_grid = (
+            arr.ravel() for arr in np.meshgrid(durations, locations, indexing="ij")
+        )
+        # Continuity solved for the earlier step: e_{t-2} = e_{t-1} - d_{t-2},
+        # where d_{t-2} is the enumerated candidate duration.  The ± slack
+        # window around each derived bin hedges discretization error.
+        anchor = entry_bin_to_minute(known.entry_bin)
+        slack = np.arange(-self.entry_slack, self.entry_slack + 1)
+        derived = np.array(
+            [
+                _derive_entry_bin(anchor - duration_bin_to_minute(d), spec)
+                for d in duration_grid
+            ]
+        )
+        entry_grid = np.clip(
+            (derived[:, None] + slack[None, :]), 0, spec.entry_bins - 1
+        ).ravel()
+        duration_grid = np.repeat(duration_grid, len(slack))
+        location_grid = np.repeat(location_grid, len(slack))
+        return self._score_single_step(
+            instance, predictor, prior, T_MINUS_2, entry_grid, duration_grid, location_grid
+        )
+
+    def _score_single_step(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+        step: int,
+        entry_grid: np.ndarray,
+        duration_grid: np.ndarray,
+        location_grid: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        n = len(location_grid)
+        batch = encode_candidates(
+            predictor.spec,
+            instance.known,
+            {step: {"entry": entry_grid, "duration": duration_grid, "location": location_grid}},
+            instance.day_of_week,
+            n,
+        )
+        confidence = query_output_confidence(predictor, batch, instance.observed_output)
+        scores = confidence * prior[location_grid]
+        ranked, ranked_scores = rank_locations(location_grid, scores, prior, self.tie_break)
+        recon = Reconstruction(step=step, ranked_locations=ranked, scores=ranked_scores)
+        return {step: recon}, n
+
+    # ------------------------------------------------------------------
+    # A3: both timesteps missing
+    # ------------------------------------------------------------------
+    def _attack_missing_both(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        spec = predictor.spec
+        locations = self._locations(spec)
+        durations = np.arange(0, spec.duration_bins, self.a3_duration_stride)
+        entries = np.arange(0, spec.entry_bins, self.a3_entry_stride)
+
+        e2, d2, l2, d1, l1 = (
+            arr.ravel()
+            for arr in np.meshgrid(entries, durations, locations, durations, locations, indexing="ij")
+        )
+        # Continuity chains the derived step-1 entry off the enumerated
+        # step-2 candidate: e_{t-1} = e_{t-2} + d_{t-2}.
+        e1 = np.array(
+            [
+                _derive_entry_bin(entry_bin_to_minute(e) + duration_bin_to_minute(d), spec)
+                for e, d in zip(e2, d2)
+            ]
+        )
+        n = len(l1)
+        batch = encode_candidates(
+            spec,
+            instance.known,
+            {
+                T_MINUS_2: {"entry": e2, "duration": d2, "location": l2},
+                T_MINUS_1: {"entry": e1, "duration": d1, "location": l1},
+            },
+            instance.day_of_week,
+            n,
+        )
+        confidence = query_output_confidence(predictor, batch, instance.observed_output)
+        joint = confidence * prior[l2] * prior[l1]
+        ranked_2, scores_2 = rank_locations(l2, joint, prior, self.tie_break)
+        ranked_1, scores_1 = rank_locations(l1, joint, prior, self.tie_break)
+        return (
+            {
+                T_MINUS_2: Reconstruction(T_MINUS_2, ranked_2, scores_2),
+                T_MINUS_1: Reconstruction(T_MINUS_1, ranked_1, scores_1),
+            },
+            n,
+        )

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the reproduction workflow:
+
+* ``corpus``     — generate a synthetic campus corpus and save it to disk;
+* ``demo``       — run the end-to-end train/personalize/attack/defend story;
+* ``experiment`` — regenerate one paper table/figure by id;
+* ``list``       — list the available experiment ids.
+
+Examples::
+
+    python -m repro corpus --buildings 30 --contributors 10 --days 42 -o corpus.npz
+    python -m repro demo --seed 7
+    python -m repro experiment table3 --scale tiny
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.data import CorpusConfig, generate_corpus, save_ap_sessions
+from repro.eval import (
+    ExperimentScale,
+    Pipeline,
+    render_accuracy_grid,
+    render_attack_methods,
+    render_bar_chart,
+    render_overhead,
+    render_personalization,
+    render_scatter,
+    render_training_sweep,
+    run_adversary_comparison,
+    run_attack_methods,
+    run_defense_on_personalization,
+    run_defense_on_spatial_levels,
+    run_mobility_degree_study,
+    run_overhead_comparison,
+    run_personalization_comparison,
+    run_predictability_study,
+    run_prior_comparison,
+    run_spatial_comparison,
+    run_temperature_sweep,
+    run_training_size_sweep,
+)
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": (run_attack_methods, render_attack_methods, "attack runtimes + Fig 2a accuracy"),
+    "fig2b": (run_adversary_comparison, lambda r: render_accuracy_grid(r, "adversary"), "adversaries A1/A2/A3"),
+    "fig2c": (run_prior_comparison, lambda r: render_accuracy_grid(r, "prior"), "prior knowledge modes"),
+    "fig3a": (run_spatial_comparison, lambda r: render_accuracy_grid(r, "level"), "building vs AP leakage"),
+    "fig3b": (run_mobility_degree_study, render_scatter, "degree of mobility vs leakage"),
+    "fig3c": (run_predictability_study, render_scatter, "predictability vs leakage"),
+    "table3": (run_personalization_comparison, render_personalization, "personalization methods"),
+    "table4": (run_training_size_sweep, render_training_sweep, "training-data size sweep"),
+    "overhead": (run_overhead_comparison, render_overhead, "cloud vs device compute"),
+    "fig5a": (run_defense_on_personalization, lambda r: render_accuracy_grid(r, "method"), "defense per TL method"),
+    "fig5b": (
+        run_temperature_sweep,
+        lambda r: render_bar_chart({f"T={t:g}": v for t, v in r.items()}),
+        "privacy temperature sweep",
+    ),
+    "fig5c": (run_defense_on_spatial_levels, lambda r: render_accuracy_grid(r, "level"), "defense per spatial level"),
+}
+
+_SCALES: Dict[str, Callable[[], ExperimentScale]] = {
+    "tiny": ExperimentScale.tiny,
+    "small": ExperimentScale.small,
+    "paper": ExperimentScale.paper,
+}
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    config = CorpusConfig(
+        num_buildings=args.buildings,
+        num_contributors=args.contributors,
+        num_personal_users=args.personal,
+        num_days=args.days,
+        seed=args.seed,
+    )
+    corpus = generate_corpus(config)
+    size = save_ap_sessions(corpus.ap_sessions, args.output)
+    print(
+        f"wrote {args.output}: {corpus.campus.num_buildings} buildings, "
+        f"{corpus.campus.num_aps} APs, "
+        f"{len(corpus.contributor_ids) + len(corpus.personal_ids)} users, "
+        f"{size} bytes"
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """Compact train -> personalize -> attack -> defend walkthrough."""
+    import numpy as np
+
+    from repro.attacks import (
+        AdversaryClass,
+        PriorMethod,
+        TimeBasedAttack,
+        attack_user,
+        build_prior,
+        prune_locations,
+    )
+    from repro.data import SpatialLevel
+    from repro.models import (
+        GeneralModelConfig,
+        NextLocationPredictor,
+        PersonalizationConfig,
+        PersonalizationMethod,
+        personalize,
+        train_general_model,
+    )
+    from repro.pelican import apply_privacy, leakage_reduction
+
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_buildings=25, num_contributors=8, num_personal_users=1, num_days=35,
+            seed=args.seed,
+        )
+    )
+    spec = corpus.spec(SpatialLevel.BUILDING)
+    train, _ = corpus.contributor_dataset(SpatialLevel.BUILDING).split_by_user(0.8)
+    print("training general model...")
+    general, _ = train_general_model(
+        train, GeneralModelConfig(hidden_size=32, epochs=10, patience=4),
+        np.random.default_rng(args.seed),
+    )
+    uid = corpus.personal_ids[0]
+    user_train, user_test = corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+    print(f"personalizing for user {uid} (TL feature extraction)...")
+    personal, _ = personalize(
+        general, user_train, PersonalizationMethod.TL_FE,
+        PersonalizationConfig(epochs=12, patience=5), np.random.default_rng(args.seed + 1),
+    )
+    predictor = NextLocationPredictor(personal, spec)
+    X, y = user_test.encode()
+    print(f"personal model top-3 accuracy: {predictor.top_k_accuracy(X, y, 3):.2%}")
+
+    prior = build_prior(PriorMethod.TRUE, spec.num_locations, train_dataset=user_train)
+    attack = TimeBasedAttack(candidate_locations=prune_locations(predictor, user_test))
+    undefended = attack_user(
+        attack, predictor, user_test, AdversaryClass.A1, prior, max_instances=20
+    )
+    print(f"inversion attack top-3 accuracy: {undefended.accuracy(3):.2%}")
+
+    defended_model = personal.copy(np.random.default_rng(args.seed + 2))
+    apply_privacy(defended_model, 1e-3)
+    defended_pred = NextLocationPredictor(defended_model, spec)
+    defended = attack_user(
+        TimeBasedAttack(candidate_locations=prune_locations(defended_pred, user_test)),
+        defended_pred, user_test, AdversaryClass.A1, prior, max_instances=20,
+    )
+    reduction = leakage_reduction(undefended.accuracy(1), defended.accuracy(1))
+    print(
+        f"with Pelican privacy layer (T=1e-3): attack top-1 "
+        f"{undefended.accuracy(1):.2%} -> {defended.accuracy(1):.2%} "
+        f"({reduction:.0f}% leakage reduction); service accuracy unchanged: "
+        f"{defended_pred.top_k_accuracy(X, y, 3):.2%}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    runner, renderer, description = EXPERIMENTS[args.name]
+    print(f"[{args.name}] {description} (scale={args.scale})")
+    pipeline = Pipeline(_SCALES[args.scale]())
+    result = runner(pipeline)
+    print(renderer(result))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name, (_, _, description) in EXPERIMENTS.items():
+        print(f"{name:<10} {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Preserving Privacy in Personalized Models for "
+        "Distributed Mobile Services' (ICDCS 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="generate and save a synthetic corpus")
+    corpus.add_argument("--buildings", type=int, default=40)
+    corpus.add_argument("--contributors", type=int, default=24)
+    corpus.add_argument("--personal", type=int, default=10)
+    corpus.add_argument("--days", type=int, default=56)
+    corpus.add_argument("--seed", type=int, default=7)
+    corpus.add_argument("-o", "--output", default="corpus.npz")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    demo = sub.add_parser("demo", help="run the end-to-end demo")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    experiment = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    experiment.add_argument("name", help="experiment id (see: python -m repro list)")
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list experiment ids")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""``repro.data`` — synthetic campus-WiFi mobility substrate.
+
+Replaces the paper's proprietary campus dataset (DESIGN.md §2): campus
+topology, routine-driven mobility simulation, AP session generation,
+trajectory extraction, feature discretization, and windowed datasets.
+"""
+
+from repro.data.campus import Building, BuildingKind, CampusTopology
+from repro.data.corpus import CorpusConfig, MobilityCorpus, generate_corpus
+from repro.data.filtering import (
+    filter_on_campus_students,
+    filter_sparse_users,
+    observed_days,
+    stays_in_dorm_at_night,
+)
+from repro.data.io import export_trajectory_csv, load_ap_sessions, save_ap_sessions
+from repro.data.dataset import HISTORY_LENGTH, SequenceDataset, Window
+from repro.data.features import (
+    DURATION_BIN_MINUTES,
+    DURATION_CAP_MINUTES,
+    ENTRY_BIN_MINUTES,
+    FeatureSpec,
+    SessionFeatures,
+    SpatialLevel,
+    discretize_duration,
+    discretize_entry,
+    duration_bin_to_minute,
+    entry_bin_to_minute,
+    location_marginals,
+)
+from repro.data.mobility import (
+    MINUTES_PER_DAY,
+    RoutineMobilityModel,
+    UserProfile,
+    Visit,
+    simulate_population,
+)
+from repro.data.sessions import (
+    APSession,
+    LocationSession,
+    extract_trajectory,
+    visits_to_ap_sessions,
+)
+
+__all__ = [
+    "APSession",
+    "Building",
+    "BuildingKind",
+    "CampusTopology",
+    "CorpusConfig",
+    "DURATION_BIN_MINUTES",
+    "DURATION_CAP_MINUTES",
+    "ENTRY_BIN_MINUTES",
+    "FeatureSpec",
+    "HISTORY_LENGTH",
+    "LocationSession",
+    "MINUTES_PER_DAY",
+    "MobilityCorpus",
+    "RoutineMobilityModel",
+    "SequenceDataset",
+    "SessionFeatures",
+    "SpatialLevel",
+    "UserProfile",
+    "Visit",
+    "Window",
+    "discretize_duration",
+    "export_trajectory_csv",
+    "filter_on_campus_students",
+    "filter_sparse_users",
+    "load_ap_sessions",
+    "observed_days",
+    "save_ap_sessions",
+    "stays_in_dorm_at_night",
+    "discretize_entry",
+    "duration_bin_to_minute",
+    "entry_bin_to_minute",
+    "extract_trajectory",
+    "generate_corpus",
+    "location_marginals",
+    "simulate_population",
+    "visits_to_ap_sessions",
+]

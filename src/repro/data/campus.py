@@ -1,0 +1,181 @@
+"""Synthetic campus topology: buildings, access points, walking graph.
+
+The paper's evaluation uses a campus WiFi dataset with 156 buildings and
+5104 APs.  That dataset is proprietary, so this module generates a synthetic
+campus with the same structure (DESIGN.md §2): typed buildings (dorms,
+academic, dining, gym, library), a set of APs per building, and a walking
+graph (networkx) whose geometry drives transition plausibility in the
+mobility simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class BuildingKind(str, Enum):
+    """Functional category of a campus building."""
+
+    DORM = "dorm"
+    ACADEMIC = "academic"
+    DINING = "dining"
+    GYM = "gym"
+    LIBRARY = "library"
+
+
+# Fraction of campus buildings in each category; loosely follows a typical
+# residential campus (plenty of academic space, a handful of dining halls).
+_KIND_MIX: List[Tuple[BuildingKind, float]] = [
+    (BuildingKind.DORM, 0.30),
+    (BuildingKind.ACADEMIC, 0.45),
+    (BuildingKind.DINING, 0.10),
+    (BuildingKind.GYM, 0.05),
+    (BuildingKind.LIBRARY, 0.10),
+]
+
+# APs per building by kind: large academic buildings and libraries carry the
+# densest deployments, matching the heavy-tailed AP counts of real campuses.
+_APS_PER_BUILDING: Dict[BuildingKind, Tuple[int, int]] = {
+    BuildingKind.DORM: (4, 10),
+    BuildingKind.ACADEMIC: (4, 12),
+    BuildingKind.DINING: (2, 6),
+    BuildingKind.GYM: (2, 5),
+    BuildingKind.LIBRARY: (6, 14),
+}
+
+
+@dataclass(frozen=True)
+class Building:
+    """A campus building with its AP deployment."""
+
+    building_id: int
+    kind: BuildingKind
+    position: Tuple[float, float]
+    ap_ids: Tuple[int, ...]
+
+    @property
+    def num_aps(self) -> int:
+        return len(self.ap_ids)
+
+
+@dataclass
+class CampusTopology:
+    """The full campus: buildings, APs, and a walking graph.
+
+    Attributes
+    ----------
+    buildings:
+        All buildings, indexed by ``building_id`` (list position == id).
+    ap_to_building:
+        Maps each global AP id to its building id.
+    graph:
+        networkx graph over building ids; edge weights are walking minutes.
+    """
+
+    buildings: List[Building]
+    ap_to_building: Dict[int, int]
+    graph: nx.Graph
+    _distance_cache: Dict[int, Dict[int, float]] = field(default_factory=dict, repr=False)
+
+    @property
+    def num_buildings(self) -> int:
+        return len(self.buildings)
+
+    @property
+    def num_aps(self) -> int:
+        return len(self.ap_to_building)
+
+    def buildings_of_kind(self, kind: BuildingKind) -> List[Building]:
+        return [b for b in self.buildings if b.kind == kind]
+
+    def walking_minutes(self, src: int, dst: int) -> float:
+        """Shortest-path walking time between two buildings (cached)."""
+        if src == dst:
+            return 0.0
+        if src not in self._distance_cache:
+            self._distance_cache[src] = nx.single_source_dijkstra_path_length(
+                self.graph, src, weight="weight"
+            )
+        return self._distance_cache[src][dst]
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        num_buildings: int = 40,
+        campus_extent_minutes: float = 20.0,
+    ) -> "CampusTopology":
+        """Generate a random campus.
+
+        Buildings are placed uniformly in a square whose diagonal takes
+        ``campus_extent_minutes`` to walk; the graph connects each building
+        to its nearest neighbours so walking times are realistic.
+        """
+        if num_buildings < len(_KIND_MIX):
+            raise ValueError(
+                f"need at least {len(_KIND_MIX)} buildings to cover every kind; "
+                f"got {num_buildings}"
+            )
+        kinds = _assign_kinds(rng, num_buildings)
+        side = campus_extent_minutes / np.sqrt(2.0)
+        positions = rng.uniform(0.0, side, size=(num_buildings, 2))
+
+        buildings: List[Building] = []
+        ap_to_building: Dict[int, int] = {}
+        next_ap = 0
+        for bid in range(num_buildings):
+            lo, hi = _APS_PER_BUILDING[kinds[bid]]
+            count = int(rng.integers(lo, hi + 1))
+            ap_ids = tuple(range(next_ap, next_ap + count))
+            for ap in ap_ids:
+                ap_to_building[ap] = bid
+            next_ap += count
+            buildings.append(
+                Building(
+                    building_id=bid,
+                    kind=kinds[bid],
+                    position=(float(positions[bid, 0]), float(positions[bid, 1])),
+                    ap_ids=ap_ids,
+                )
+            )
+
+        graph = _nearest_neighbour_graph(positions)
+        return cls(buildings=buildings, ap_to_building=ap_to_building, graph=graph)
+
+
+def _assign_kinds(rng: np.random.Generator, num_buildings: int) -> List[BuildingKind]:
+    """Assign kinds following ``_KIND_MIX``, guaranteeing one of each."""
+    kinds = [kind for kind, _ in _KIND_MIX]
+    remaining = num_buildings - len(kinds)
+    weights = np.array([w for _, w in _KIND_MIX])
+    weights = weights / weights.sum()
+    extra = rng.choice(len(_KIND_MIX), size=remaining, p=weights)
+    kinds.extend(_KIND_MIX[i][0] for i in extra)
+    rng.shuffle(kinds)
+    return kinds
+
+
+def _nearest_neighbour_graph(positions: np.ndarray, k: int = 4) -> nx.Graph:
+    """Connect each building to its ``k`` nearest neighbours.
+
+    Adds a spanning tree over the same distances first so the graph is
+    always connected.
+    """
+    n = len(positions)
+    deltas = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((deltas**2).sum(axis=-1))
+
+    complete = nx.Graph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            complete.add_edge(i, j, weight=float(dist[i, j]))
+    graph = nx.minimum_spanning_tree(complete)
+    for i in range(n):
+        for j in np.argsort(dist[i])[1 : k + 1]:
+            graph.add_edge(i, int(j), weight=float(dist[i, j]))
+    return graph

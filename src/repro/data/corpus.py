@@ -1,0 +1,121 @@
+"""End-to-end corpus generation: campus -> traces -> trajectories -> datasets.
+
+:class:`MobilityCorpus` is the reproduction's stand-in for the paper's
+processed campus dataset: it holds contributor users (who train the general
+model ``M_G``) and personal users (disjoint set ``P`` who build personalized
+models), with trajectories available at both spatial levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.campus import CampusTopology
+from repro.data.dataset import SequenceDataset
+from repro.data.features import FeatureSpec, SpatialLevel
+from repro.data.mobility import RoutineMobilityModel, UserProfile, Visit
+from repro.data.sessions import APSession, extract_trajectory, visits_to_ap_sessions
+
+
+@dataclass
+class CorpusConfig:
+    """Scale knobs for corpus generation (paper values in parentheses)."""
+
+    num_buildings: int = 40  # (156)
+    num_contributors: int = 24  # (200)
+    num_personal_users: int = 10  # (100)
+    num_days: int = 8 * 7  # 8 weeks; paper trains on Sept-Nov (~9 weeks)
+    seed: int = 7
+    mean_ap_dwell: float = 70.0
+
+    def scaled(self, **overrides) -> "CorpusConfig":
+        """Return a copy with some fields overridden."""
+        params = {**self.__dict__, **overrides}
+        return CorpusConfig(**params)
+
+
+@dataclass
+class MobilityCorpus:
+    """Generated campus data, split into contributors and personal users."""
+
+    config: CorpusConfig
+    campus: CampusTopology
+    profiles: Dict[int, UserProfile]
+    contributor_ids: List[int]
+    personal_ids: List[int]
+    ap_sessions: Dict[int, List[APSession]]
+
+    _trajectory_cache: Dict[Tuple[int, str], List] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def spec(self, level: SpatialLevel) -> FeatureSpec:
+        """Feature spec for the requested spatial level.
+
+        The location domain is the *whole campus* (all buildings or all
+        APs), implementing the paper's domain equalization: every personal
+        model shares the general model's location domain.
+        """
+        num = (
+            self.campus.num_buildings
+            if level == SpatialLevel.BUILDING
+            else self.campus.num_aps
+        )
+        return FeatureSpec(num_locations=num)
+
+    def trajectory(self, user_id: int, level: SpatialLevel):
+        """The user's trajectory at the requested level (cached)."""
+        key = (user_id, level.value)
+        if key not in self._trajectory_cache:
+            self._trajectory_cache[key] = extract_trajectory(
+                self.ap_sessions[user_id], level.value
+            )
+        return self._trajectory_cache[key]
+
+    def user_dataset(self, user_id: int, level: SpatialLevel) -> SequenceDataset:
+        """Windowed dataset for one user."""
+        return SequenceDataset.from_trajectory(self.trajectory(user_id, level), self.spec(level))
+
+    def contributor_dataset(self, level: SpatialLevel) -> SequenceDataset:
+        """Pooled dataset over all contributors (trains the general model)."""
+        return SequenceDataset.concatenate(
+            [self.user_dataset(uid, level) for uid in self.contributor_ids]
+        )
+
+    def personal_datasets(self, level: SpatialLevel) -> Dict[int, SequenceDataset]:
+        """Per-user datasets for the personal (attack-target) population."""
+        return {uid: self.user_dataset(uid, level) for uid in self.personal_ids}
+
+
+def generate_corpus(config: CorpusConfig | None = None) -> MobilityCorpus:
+    """Generate a full synthetic corpus from a config (deterministic)."""
+    config = config or CorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    campus = CampusTopology.generate(rng, num_buildings=config.num_buildings)
+    model = RoutineMobilityModel(campus, rng)
+
+    total_users = config.num_contributors + config.num_personal_users
+    profiles: Dict[int, UserProfile] = {}
+    ap_sessions: Dict[int, List[APSession]] = {}
+    for user_id in range(total_users):
+        profile = model.make_profile(user_id)
+        profiles[user_id] = profile
+        visits = model.simulate(profile, config.num_days)
+        ap_sessions[user_id] = visits_to_ap_sessions(
+            visits, campus, rng, mean_ap_dwell=config.mean_ap_dwell
+        )
+
+    contributor_ids = list(range(config.num_contributors))
+    personal_ids = list(range(config.num_contributors, total_users))
+    return MobilityCorpus(
+        config=config,
+        campus=campus,
+        profiles=profiles,
+        contributor_ids=contributor_ids,
+        personal_ids=personal_ids,
+        ap_sessions=ap_sessions,
+    )

@@ -1,0 +1,90 @@
+"""Corpus persistence: save/load traces so experiments can share datasets.
+
+Real evaluation pipelines snapshot the processed dataset; this module does
+the same for the synthetic corpus — AP sessions round-trip through a
+compressed ``.npz`` (columnar arrays), and trajectories export to CSV for
+inspection with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.sessions import APSession, LocationSession
+
+_COLUMNS = (
+    "user_id",
+    "day_index",
+    "day_of_week",
+    "entry_minute",
+    "duration_minute",
+    "building_id",
+    "ap_id",
+)
+
+
+def save_ap_sessions(
+    sessions_by_user: Dict[int, List[APSession]], path: Union[str, Path]
+) -> int:
+    """Write all users' AP sessions to a compressed npz; returns byte size."""
+    rows = [
+        (s.user_id, s.day_index, s.day_of_week, s.entry_minute, s.duration_minute,
+         s.building_id, s.ap_id)
+        for sessions in sessions_by_user.values()
+        for s in sessions
+    ]
+    table = np.array(rows, dtype=np.int64).reshape(len(rows), len(_COLUMNS))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, sessions=table, columns=np.array(_COLUMNS))
+    return path.stat().st_size
+
+
+def load_ap_sessions(path: Union[str, Path]) -> Dict[int, List[APSession]]:
+    """Inverse of :func:`save_ap_sessions`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        table = archive["sessions"]
+    result: Dict[int, List[APSession]] = {}
+    for row in table:
+        session = APSession(
+            user_id=int(row[0]),
+            day_index=int(row[1]),
+            day_of_week=int(row[2]),
+            entry_minute=int(row[3]),
+            duration_minute=int(row[4]),
+            building_id=int(row[5]),
+            ap_id=int(row[6]),
+        )
+        result.setdefault(session.user_id, []).append(session)
+    for sessions in result.values():
+        sessions.sort(key=lambda s: (s.day_index, s.entry_minute))
+    return result
+
+
+def export_trajectory_csv(
+    trajectory: Sequence[LocationSession], path: Union[str, Path]
+) -> int:
+    """Write one trajectory to CSV; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["user_id", "day_index", "day_of_week", "entry_minute", "duration_minute", "location_id"]
+        )
+        for session in trajectory:
+            writer.writerow(
+                [
+                    session.user_id,
+                    session.day_index,
+                    session.day_of_week,
+                    session.entry_minute,
+                    session.duration_minute,
+                    session.location_id,
+                ]
+            )
+    return len(trajectory)

@@ -1,0 +1,78 @@
+"""Confidence calibration metrics.
+
+Temperature scaling is best known as a *calibration* technique (Platt/Guo
+et al.); Pelican repurposes it as a privacy mechanism.  These metrics
+quantify the side effect: the privacy layer deliberately *destroys*
+calibration (confidences saturate toward 1) while preserving accuracy.
+The defense-comparison benchmark reports ECE alongside attack accuracy so
+the utility cost of each defense is visible in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Expected calibration error plus its reliability-diagram bins."""
+
+    ece: float
+    bin_confidence: np.ndarray
+    bin_accuracy: np.ndarray
+    bin_counts: np.ndarray
+
+
+def expected_calibration_error(
+    confidences: np.ndarray, targets: np.ndarray, num_bins: int = 10
+) -> CalibrationReport:
+    """ECE of top-1 predictions over a confidence matrix.
+
+    Parameters
+    ----------
+    confidences:
+        ``(n, classes)`` probability matrix.
+    targets:
+        ``(n,)`` true class indices.
+    num_bins:
+        Equal-width confidence bins over (0, 1].
+    """
+    confidences = np.asarray(confidences)
+    targets = np.asarray(targets)
+    if confidences.ndim != 2:
+        raise ValueError(f"expected (n, classes) confidences; got {confidences.shape}")
+    if len(confidences) != len(targets):
+        raise ValueError("confidences and targets must align")
+    if len(confidences) == 0:
+        return CalibrationReport(
+            ece=float("nan"),
+            bin_confidence=np.zeros(num_bins),
+            bin_accuracy=np.zeros(num_bins),
+            bin_counts=np.zeros(num_bins, dtype=int),
+        )
+
+    top_conf = confidences.max(axis=-1)
+    top_pred = confidences.argmax(axis=-1)
+    correct = top_pred == targets
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_ids = np.clip(np.digitize(top_conf, edges[1:-1]), 0, num_bins - 1)
+
+    bin_confidence = np.zeros(num_bins)
+    bin_accuracy = np.zeros(num_bins)
+    bin_counts = np.zeros(num_bins, dtype=int)
+    for b in range(num_bins):
+        mask = bin_ids == b
+        bin_counts[b] = int(mask.sum())
+        if bin_counts[b]:
+            bin_confidence[b] = float(top_conf[mask].mean())
+            bin_accuracy[b] = float(correct[mask].mean())
+
+    weights = bin_counts / bin_counts.sum()
+    ece = float(np.abs(bin_accuracy - bin_confidence) @ weights)
+    return CalibrationReport(
+        ece=ece, bin_confidence=bin_confidence, bin_accuracy=bin_accuracy, bin_counts=bin_counts
+    )

@@ -1,0 +1,88 @@
+"""Experiment scales: one knob bundle per reproduction tier.
+
+Three tiers (DESIGN.md §6):
+
+* ``tiny``  — CI/unit-test scale; seconds end to end.
+* ``small`` — benchmark scale (default for ``benchmarks/``); a few minutes
+  for the full suite, preserving every qualitative shape.
+* ``paper`` — closest feasible to the paper's 200-contributor setup; hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.data.corpus import CorpusConfig
+from repro.models.general import GeneralModelConfig
+from repro.models.personalize import PersonalizationConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All scale knobs for one reproduction tier."""
+
+    name: str
+    corpus: CorpusConfig
+    general: GeneralModelConfig
+    personalization: PersonalizationConfig
+    attack_instances_per_user: int
+    max_attack_users: int
+    ks: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+    @classmethod
+    def tiny(cls, seed: int = 11) -> "ExperimentScale":
+        return cls(
+            name="tiny",
+            corpus=CorpusConfig(
+                num_buildings=15,
+                num_contributors=5,
+                num_personal_users=2,
+                num_days=21,
+                seed=seed,
+            ),
+            general=GeneralModelConfig(hidden_size=24, epochs=6, patience=3),
+            personalization=PersonalizationConfig(epochs=6, patience=3, scratch_hidden_size=16),
+            attack_instances_per_user=5,
+            max_attack_users=2,
+        )
+
+    @classmethod
+    def small(cls, seed: int = 11) -> "ExperimentScale":
+        return cls(
+            name="small",
+            corpus=CorpusConfig(
+                num_buildings=40,
+                num_contributors=16,
+                num_personal_users=6,
+                num_days=56,
+                seed=seed,
+            ),
+            general=GeneralModelConfig(hidden_size=48, epochs=15, patience=6),
+            personalization=PersonalizationConfig(epochs=20, patience=6),
+            attack_instances_per_user=12,
+            max_attack_users=6,
+        )
+
+    @classmethod
+    def paper(cls, seed: int = 11) -> "ExperimentScale":
+        return cls(
+            name="paper",
+            corpus=CorpusConfig(
+                num_buildings=150,
+                num_contributors=200,
+                num_personal_users=100,
+                num_days=63,
+                seed=seed,
+            ),
+            general=GeneralModelConfig(
+                hidden_size=128, epochs=30, patience=8, learning_rate=1e-3
+            ),
+            personalization=PersonalizationConfig(epochs=30, patience=8),
+            attack_instances_per_user=30,
+            max_attack_users=100,
+        )
+
+    def with_corpus(self, **overrides) -> "ExperimentScale":
+        """Copy with corpus fields overridden."""
+        return replace(self, corpus=self.corpus.scaled(**overrides))

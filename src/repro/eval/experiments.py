@@ -1,0 +1,451 @@
+"""One runner per paper table/figure (DESIGN.md §4 index).
+
+Each function takes a :class:`~repro.eval.pipeline.Pipeline` and returns a
+plain data structure holding the same rows/series the paper reports; the
+``benchmarks/`` targets call these and print them via
+:mod:`repro.eval.reporting`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.adversary import AdversaryClass
+from repro.attacks.base import InversionAttack
+from repro.attacks.brute_force import BruteForceAttack
+from repro.attacks.gradient import GradientDescentAttack
+from repro.attacks.priors import PriorMethod
+from repro.attacks.runner import AttackEvaluation, attack_user
+from repro.attacks.time_based import TimeBasedAttack
+from repro.data.features import SpatialLevel
+from repro.eval.analysis import CorrelationResult, ScatterStudy
+from repro.eval.metrics import percent, top_k_accuracy_series
+from repro.eval.pipeline import AttackTarget, Pipeline
+from repro.models.general import train_general_model
+from repro.models.personalize import PersonalizationMethod
+from repro.nn.profiler import flop_counter
+from repro.nn.train import TimeSeriesSplit, fit
+from repro.pelican.cloud import ResourceReport
+from repro.pelican.privacy import leakage_reduction_series
+
+DEFAULT_LEVEL = SpatialLevel.BUILDING
+DEFAULT_ADVERSARY = AdversaryClass.A1
+
+
+# ----------------------------------------------------------------------
+# Shared attack driver
+# ----------------------------------------------------------------------
+def run_attack_over_targets(
+    targets: Dict[int, AttackTarget],
+    attack_factory: Callable[[AttackTarget], InversionAttack],
+    adversary: AdversaryClass,
+    max_instances: int,
+) -> AttackEvaluation:
+    """Run a (possibly per-user-parameterized) attack over a population."""
+    first = next(iter(targets.values()))
+    evaluation = AttackEvaluation(
+        attack_name=attack_factory(first).name, adversary=adversary
+    )
+    for uid, target in targets.items():
+        attack = attack_factory(target)
+        evaluation.per_user[uid] = attack_user(
+            attack, target.predictor, target.windows, adversary, target.prior, max_instances
+        )
+    return evaluation
+
+
+def time_based_factory(target: AttackTarget) -> InversionAttack:
+    return TimeBasedAttack(candidate_locations=target.pruned_locations)
+
+
+def accuracy_percent_series(
+    evaluation: AttackEvaluation, ks: Sequence[int]
+) -> Dict[int, float]:
+    return {k: percent(evaluation.accuracy(k)) for k in ks}
+
+
+# ----------------------------------------------------------------------
+# Table II + Fig 2a — attack methods: accuracy and runtime
+# ----------------------------------------------------------------------
+@dataclass
+class AttackMethodResult:
+    """Accuracy series plus runtime/query accounting for one method."""
+
+    name: str
+    accuracy: Dict[int, float]
+    runtime_seconds: float
+    queries: int
+
+
+def run_attack_methods(
+    pipeline: Pipeline, ks: Sequence[int] = (1, 3, 5, 7)
+) -> Dict[str, AttackMethodResult]:
+    """Reproduces Table II (runtimes) and Fig 2a (accuracy vs top-k).
+
+    Default adversary A1, building level, TL-FE personalization, true
+    prior — the paper's defaults (§IV-B).
+    """
+    targets = pipeline.attack_targets(DEFAULT_LEVEL)
+    n = pipeline.scale.attack_instances_per_user
+    factories: Dict[str, Callable[[AttackTarget], InversionAttack]] = {
+        "brute force": lambda target: BruteForceAttack(),
+        "gradient descent": lambda target: GradientDescentAttack(),
+        "time-based": time_based_factory,
+    }
+    results: Dict[str, AttackMethodResult] = {}
+    for name, factory in factories.items():
+        started = time.perf_counter()
+        evaluation = run_attack_over_targets(targets, factory, DEFAULT_ADVERSARY, n)
+        results[name] = AttackMethodResult(
+            name=name,
+            accuracy=accuracy_percent_series(evaluation, ks),
+            runtime_seconds=time.perf_counter() - started,
+            queries=evaluation.total_queries,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig 2b — adversarial knowledge
+# ----------------------------------------------------------------------
+def run_adversary_comparison(
+    pipeline: Pipeline, ks: Sequence[int] = (1, 3, 5, 7)
+) -> Dict[str, Dict[int, float]]:
+    """Attack accuracy for A1/A2/A3 under the time-based method."""
+    targets = pipeline.attack_targets(DEFAULT_LEVEL)
+    n = pipeline.scale.attack_instances_per_user
+    results: Dict[str, Dict[int, float]] = {}
+    for adversary in AdversaryClass:
+        evaluation = run_attack_over_targets(targets, time_based_factory, adversary, n)
+        results[adversary.value] = accuracy_percent_series(evaluation, ks)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig 2c — prior knowledge
+# ----------------------------------------------------------------------
+def run_prior_comparison(
+    pipeline: Pipeline, ks: Sequence[int] = tuple(range(1, 11))
+) -> Dict[str, Dict[int, float]]:
+    """Attack accuracy with true / none / predict / estimate priors."""
+    results: Dict[str, Dict[int, float]] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for prior_method in PriorMethod:
+        targets = pipeline.attack_targets(DEFAULT_LEVEL, prior_method=prior_method)
+        evaluation = run_attack_over_targets(
+            targets, time_based_factory, DEFAULT_ADVERSARY, n
+        )
+        results[prior_method.value] = accuracy_percent_series(evaluation, ks)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig 3a — spatial levels
+# ----------------------------------------------------------------------
+def run_spatial_comparison(
+    pipeline: Pipeline, ks: Sequence[int] = tuple(range(1, 11))
+) -> Dict[str, Dict[int, float]]:
+    """Attack accuracy at building vs AP spatial scale."""
+    results: Dict[str, Dict[int, float]] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for level in (SpatialLevel.BUILDING, SpatialLevel.AP):
+        targets = pipeline.attack_targets(level)
+        evaluation = run_attack_over_targets(
+            targets, time_based_factory, DEFAULT_ADVERSARY, n
+        )
+        results[level.value] = accuracy_percent_series(evaluation, ks)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig 3b / 3c — per-user mobility analyses
+# ----------------------------------------------------------------------
+def run_mobility_degree_study(pipeline: Pipeline, k: int = 3) -> Dict[str, ScatterStudy]:
+    """Degree of mobility (distinct locations visited) vs attack accuracy."""
+    studies: Dict[str, ScatterStudy] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for level in (SpatialLevel.BUILDING, SpatialLevel.AP):
+        targets = pipeline.attack_targets(level)
+        evaluation = run_attack_over_targets(
+            targets, time_based_factory, DEFAULT_ADVERSARY, n
+        )
+        points: Dict[int, Tuple[float, float]] = {}
+        for uid, target in targets.items():
+            dataset = pipeline.corpus.user_dataset(uid, level)
+            points[uid] = (
+                float(dataset.distinct_locations()),
+                percent(evaluation.per_user[uid].accuracy(k)),
+            )
+        studies[level.value] = ScatterStudy(covariate_name="distinct locations", points=points)
+    return studies
+
+
+def run_predictability_study(pipeline: Pipeline, k: int = 3) -> Dict[str, ScatterStudy]:
+    """Mobility predictability (personal-model accuracy) vs attack accuracy.
+
+    Following the paper, the personal model's own test accuracy proxies
+    mobility predictability.
+    """
+    studies: Dict[str, ScatterStudy] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for level in (SpatialLevel.BUILDING, SpatialLevel.AP):
+        targets = pipeline.attack_targets(level)
+        evaluation = run_attack_over_targets(
+            targets, time_based_factory, DEFAULT_ADVERSARY, n
+        )
+        points: Dict[int, Tuple[float, float]] = {}
+        for uid, target in targets.items():
+            artifact = pipeline.personal(uid, level)
+            X, y = artifact.test.encode()
+            model_acc = percent(target.predictor.top_k_accuracy(X, y, 1))
+            points[uid] = (model_acc, percent(evaluation.per_user[uid].accuracy(k)))
+        studies[level.value] = ScatterStudy(covariate_name="model accuracy", points=points)
+    return studies
+
+
+# ----------------------------------------------------------------------
+# Table III — personalization methods
+# ----------------------------------------------------------------------
+@dataclass
+class PersonalizationRow:
+    """One Table III row: aggregate train and top-1/2/3 test accuracy (%)."""
+
+    method: str
+    train_top1: float
+    test_top1: float
+    test_top2: float
+    test_top3: float
+
+
+def run_personalization_comparison(
+    pipeline: Pipeline, levels: Sequence[SpatialLevel] = (SpatialLevel.BUILDING, SpatialLevel.AP)
+) -> Dict[str, List[PersonalizationRow]]:
+    """Reproduces Table III: four methods x two levels, averaged over users."""
+    results: Dict[str, List[PersonalizationRow]] = {}
+    for level in levels:
+        spec = pipeline.spec(level)
+        rows: List[PersonalizationRow] = []
+        for method in PersonalizationMethod:
+            train_accs, test_series = [], {1: [], 2: [], 3: []}
+            for uid in pipeline.attack_users():
+                artifact = pipeline.personal(uid, level, method)
+                predictor = artifact.predictor(spec)
+                Xtr, ytr = artifact.train.encode()
+                Xte, yte = artifact.test.encode()
+                train_accs.append(predictor.top_k_accuracy(Xtr, ytr, 1))
+                for k in test_series:
+                    test_series[k].append(predictor.top_k_accuracy(Xte, yte, k))
+            rows.append(
+                PersonalizationRow(
+                    method=method.value,
+                    train_top1=percent(float(np.mean(train_accs))),
+                    test_top1=percent(float(np.mean(test_series[1]))),
+                    test_top2=percent(float(np.mean(test_series[2]))),
+                    test_top3=percent(float(np.mean(test_series[3]))),
+                )
+            )
+        results[level.value] = rows
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table IV — training data size
+# ----------------------------------------------------------------------
+def run_training_size_sweep(
+    pipeline: Pipeline,
+    weeks: Sequence[int] = (2, 4, 6, 8),
+    methods: Sequence[PersonalizationMethod] = (
+        PersonalizationMethod.LSTM,
+        PersonalizationMethod.TL_FE,
+        PersonalizationMethod.TL_FT,
+    ),
+) -> Dict[int, List[PersonalizationRow]]:
+    """Reproduces Table IV: building-level accuracy vs training weeks."""
+    results: Dict[int, List[PersonalizationRow]] = {}
+    spec = pipeline.spec(DEFAULT_LEVEL)
+    for n_weeks in weeks:
+        rows: List[PersonalizationRow] = []
+        for method in methods:
+            train_accs, test_series = [], {1: [], 2: [], 3: []}
+            for uid in pipeline.attack_users():
+                artifact = pipeline.personal(uid, DEFAULT_LEVEL, method, train_weeks=n_weeks)
+                predictor = artifact.predictor(spec)
+                Xtr, ytr = artifact.train.encode()
+                Xte, yte = artifact.test.encode()
+                if len(Xtr) == 0:
+                    continue
+                train_accs.append(predictor.top_k_accuracy(Xtr, ytr, 1))
+                for k in test_series:
+                    test_series[k].append(predictor.top_k_accuracy(Xte, yte, k))
+            rows.append(
+                PersonalizationRow(
+                    method=method.value,
+                    train_top1=percent(float(np.mean(train_accs))),
+                    test_top1=percent(float(np.mean(test_series[1]))),
+                    test_top2=percent(float(np.mean(test_series[2]))),
+                    test_top3=percent(float(np.mean(test_series[3]))),
+                )
+            )
+        results[n_weeks] = rows
+    return results
+
+
+# ----------------------------------------------------------------------
+# §V-C2 — overhead of model personalization
+# ----------------------------------------------------------------------
+@dataclass
+class OverheadResult:
+    """Cloud-vs-device compute comparison."""
+
+    cloud: ResourceReport
+    device_per_method: Dict[str, ResourceReport]
+
+    def ratio(self, method: str) -> float:
+        device = self.device_per_method[method]
+        if device.estimated_billion_cycles == 0:
+            return float("inf")
+        return self.cloud.estimated_billion_cycles / device.estimated_billion_cycles
+
+
+def run_overhead_comparison(
+    pipeline: Pipeline, grid_search_folds: int = 3, grid_sizes: Sequence[int] = (0, 1)
+) -> OverheadResult:
+    """Reproduces the §V-C2 overhead numbers.
+
+    Cloud cost includes the paper's hyperparameter grid search over
+    time-series CV folds (the reason general training takes hours); device
+    cost is a single transfer-learning run per user, averaged.
+    """
+    train, _ = pipeline.corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
+    X, y = train.encode()
+    rng = np.random.default_rng(0)
+    config = pipeline.scale.general
+
+    with flop_counter() as cloud_counter:
+        splitter = TimeSeriesSplit(grid_search_folds)
+        for size_offset in grid_sizes:  # the hyperparameter grid
+            for train_idx, _val_idx in splitter.split(len(X)):
+                candidate, _ = train_general_model(
+                    train, config, np.random.default_rng(size_offset)
+                )
+                del candidate
+        # Final fit on the full training split with the chosen setting.
+        final_model, _ = train_general_model(train, config, rng)
+    cloud_report = ResourceReport.from_counter(cloud_counter)
+
+    device_reports: Dict[str, ResourceReport] = {}
+    for method in (PersonalizationMethod.TL_FE, PersonalizationMethod.TL_FT):
+        macs, seconds = [], []
+        for uid in pipeline.attack_users():
+            user_train, _ = pipeline.corpus.user_dataset(uid, DEFAULT_LEVEL).split(0.8)
+            with flop_counter() as counter:
+                from repro.models.personalize import personalize
+
+                personalize(
+                    final_model,
+                    user_train,
+                    method,
+                    pipeline.scale.personalization,
+                    np.random.default_rng(uid),
+                )
+            macs.append(counter.macs)
+            seconds.append(counter.elapsed_seconds)
+        mean_macs = int(np.mean(macs))
+        device_reports[method.value] = ResourceReport(
+            macs=mean_macs,
+            estimated_billion_cycles=mean_macs * 4.0 / 1e9,
+            wall_seconds=float(np.mean(seconds)),
+        )
+    return OverheadResult(cloud=cloud_report, device_per_method=device_reports)
+
+
+# ----------------------------------------------------------------------
+# Fig 5a/5b/5c — the Pelican privacy enhancement
+# ----------------------------------------------------------------------
+def run_defense_on_personalization(
+    pipeline: Pipeline,
+    temperature: float = 1e-3,
+    ks: Sequence[int] = tuple(range(1, 10)),
+    methods: Sequence[PersonalizationMethod] = (
+        PersonalizationMethod.TL_FE,
+        PersonalizationMethod.TL_FT,
+    ),
+) -> Dict[str, Dict[int, float]]:
+    """Fig 5a: leakage reduction per personalization method vs top-k."""
+    results: Dict[str, Dict[int, float]] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for method in methods:
+        undefended = run_attack_over_targets(
+            pipeline.attack_targets(DEFAULT_LEVEL, method=method),
+            time_based_factory,
+            DEFAULT_ADVERSARY,
+            n,
+        )
+        defended = run_attack_over_targets(
+            pipeline.attack_targets(DEFAULT_LEVEL, method=method, temperature=temperature),
+            time_based_factory,
+            DEFAULT_ADVERSARY,
+            n,
+        )
+        results[method.value] = leakage_reduction_series(
+            accuracy_percent_series(undefended, ks), accuracy_percent_series(defended, ks)
+        )
+    return results
+
+
+def run_temperature_sweep(
+    pipeline: Pipeline,
+    temperatures: Sequence[float] = (5e-1, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+    ks: Sequence[int] = (1, 3, 5, 7, 9),
+) -> Dict[float, float]:
+    """Fig 5b: leakage reduction as the privacy parameter varies.
+
+    Reported as the mean reduction over ``ks`` (the paper reports a single
+    reduction series per temperature).  The sweep starts at T=0.5 to show
+    the ramp: our synthetic-trained models have larger logit gaps than the
+    paper's, so confidences saturate by T~0.1 already.
+    """
+    n = pipeline.scale.attack_instances_per_user
+    undefended = run_attack_over_targets(
+        pipeline.attack_targets(DEFAULT_LEVEL), time_based_factory, DEFAULT_ADVERSARY, n
+    )
+    base = accuracy_percent_series(undefended, ks)
+    results: Dict[float, float] = {}
+    for temperature in temperatures:
+        defended = run_attack_over_targets(
+            pipeline.attack_targets(DEFAULT_LEVEL, temperature=temperature),
+            time_based_factory,
+            DEFAULT_ADVERSARY,
+            n,
+        )
+        reduction = leakage_reduction_series(base, accuracy_percent_series(defended, ks))
+        results[temperature] = float(np.mean(list(reduction.values())))
+    return results
+
+
+def run_defense_on_spatial_levels(
+    pipeline: Pipeline,
+    temperature: float = 1e-3,
+    ks: Sequence[int] = tuple(range(1, 11)),
+) -> Dict[str, Dict[int, float]]:
+    """Fig 5c: leakage reduction at building vs AP level."""
+    results: Dict[str, Dict[int, float]] = {}
+    n = pipeline.scale.attack_instances_per_user
+    for level in (SpatialLevel.BUILDING, SpatialLevel.AP):
+        undefended = run_attack_over_targets(
+            pipeline.attack_targets(level), time_based_factory, DEFAULT_ADVERSARY, n
+        )
+        defended = run_attack_over_targets(
+            pipeline.attack_targets(level, temperature=temperature),
+            time_based_factory,
+            DEFAULT_ADVERSARY,
+            n,
+        )
+        results[level.value] = leakage_reduction_series(
+            accuracy_percent_series(undefended, ks), accuracy_percent_series(defended, ks)
+        )
+    return results

@@ -1,0 +1,29 @@
+"""Evaluation metrics shared across experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.models.predictor import NextLocationPredictor
+
+
+def top_k_accuracy_series(
+    predictor: NextLocationPredictor,
+    X: np.ndarray,
+    y: np.ndarray,
+    ks: Sequence[int] = (1, 2, 3),
+) -> Dict[int, float]:
+    """Top-k accuracy for several k at once."""
+    return {k: predictor.top_k_accuracy(X, y, k) for k in ks}
+
+
+def overfit_gap(train_accuracy: float, test_accuracy: float) -> float:
+    """The paper's overfitting measure: train/test accuracy discrepancy."""
+    return train_accuracy - test_accuracy
+
+
+def percent(value: float) -> float:
+    """Convert a [0, 1] fraction to the paper's percentage convention."""
+    return 100.0 * value

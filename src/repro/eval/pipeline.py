@@ -1,0 +1,175 @@
+"""Cached reproduction pipeline: corpus -> general models -> personal models.
+
+Every experiment (Tables II-IV, Figures 2/3/5) needs the same expensive
+artifacts — the corpus, a general model per spatial level, and personalized
+models per (user, level, method, training-weeks).  :class:`Pipeline` builds
+them lazily and memoizes, so a benchmark session that regenerates several
+figures only trains each model once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.candidates import prune_locations
+from repro.attacks.priors import PriorMethod, build_prior
+from repro.data.corpus import MobilityCorpus, generate_corpus
+from repro.data.dataset import SequenceDataset
+from repro.data.features import FeatureSpec, SpatialLevel
+from repro.eval.config import ExperimentScale
+from repro.models.architecture import NextLocationModel
+from repro.models.general import train_general_model
+from repro.models.personalize import PersonalizationMethod, personalize
+from repro.models.predictor import NextLocationPredictor
+
+
+@dataclass
+class PersonalArtifact:
+    """A user's personalized model with its train/test datasets."""
+
+    user_id: int
+    level: SpatialLevel
+    method: PersonalizationMethod
+    model: NextLocationModel
+    train: SequenceDataset
+    test: SequenceDataset
+
+    def predictor(
+        self, spec: FeatureSpec, temperature: Optional[float] = None
+    ) -> NextLocationPredictor:
+        """A black-box predictor; a positive temperature enables the
+        privacy layer on an independent copy, leaving the cached model
+        undefended for before/after comparisons."""
+        if temperature is None:
+            return NextLocationPredictor(self.model, spec)
+        defended = self.model.copy(np.random.default_rng(0))
+        defended.set_privacy_temperature(temperature)
+        return NextLocationPredictor(defended, spec)
+
+
+@dataclass
+class AttackTarget:
+    """Everything an attack needs for one user."""
+
+    user_id: int
+    predictor: NextLocationPredictor
+    windows: SequenceDataset
+    prior: np.ndarray
+    pruned_locations: np.ndarray
+
+
+class Pipeline:
+    """Lazily builds and memoizes all reproduction artifacts."""
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self._corpus: Optional[MobilityCorpus] = None
+        self._general: Dict[SpatialLevel, Tuple[NextLocationModel, SequenceDataset, SequenceDataset]] = {}
+        self._personal: Dict[Tuple[int, SpatialLevel, PersonalizationMethod, Optional[int]], PersonalArtifact] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> MobilityCorpus:
+        if self._corpus is None:
+            self._corpus = generate_corpus(self.scale.corpus)
+        return self._corpus
+
+    def spec(self, level: SpatialLevel) -> FeatureSpec:
+        return self.corpus.spec(level)
+
+    def attack_users(self) -> List[int]:
+        return self.corpus.personal_ids[: self.scale.max_attack_users]
+
+    # ------------------------------------------------------------------
+    def general(
+        self, level: SpatialLevel
+    ) -> Tuple[NextLocationModel, SequenceDataset, SequenceDataset]:
+        """The general model plus its pooled train/test splits."""
+        if level not in self._general:
+            pooled = self.corpus.contributor_dataset(level)
+            train, test = pooled.split_by_user(0.8)
+            rng = np.random.default_rng(self.scale.corpus.seed + 100)
+            model, _ = train_general_model(train, self.scale.general, rng)
+            self._general[level] = (model, train, test)
+        return self._general[level]
+
+    def personal(
+        self,
+        user_id: int,
+        level: SpatialLevel,
+        method: PersonalizationMethod = PersonalizationMethod.TL_FE,
+        train_weeks: Optional[int] = None,
+    ) -> PersonalArtifact:
+        """Personalized model for one user (memoized).
+
+        ``train_weeks`` limits the personal training data (Table IV); the
+        test split always comes from the full 80/20 chronological split so
+        different training sizes are evaluated on identical test windows.
+        """
+        key = (user_id, level, method, train_weeks)
+        if key not in self._personal:
+            general_model, _, _ = self.general(level)
+            dataset = self.corpus.user_dataset(user_id, level)
+            train, test = dataset.split(0.8)
+            if train_weeks is not None:
+                train = train.limit_weeks(train_weeks)
+            rng = np.random.default_rng(self.scale.corpus.seed + 1000 + user_id)
+            model, _ = personalize(
+                general_model, train, method, self.scale.personalization, rng
+            )
+            self._personal[key] = PersonalArtifact(
+                user_id=user_id, level=level, method=method, model=model, train=train, test=test
+            )
+        return self._personal[key]
+
+    # ------------------------------------------------------------------
+    def attack_target(
+        self,
+        user_id: int,
+        level: SpatialLevel,
+        method: PersonalizationMethod = PersonalizationMethod.TL_FE,
+        prior_method: PriorMethod = PriorMethod.TRUE,
+        temperature: Optional[float] = None,
+    ) -> AttackTarget:
+        """Assemble the adversary's view of one user.
+
+        The prior and the pruned locations-of-interest are both derived
+        from capabilities the threat model grants (training marginals for
+        the TRUE upper bound; black-box probes otherwise).  Pruning probes
+        go through the *same* (possibly defended) predictor the attack will
+        query.
+        """
+        spec = self.spec(level)
+        artifact = self.personal(user_id, level, method)
+        predictor = artifact.predictor(spec, temperature)
+        prior = build_prior(
+            prior_method,
+            spec.num_locations,
+            train_dataset=artifact.train,
+            predictor=predictor,
+            probe_windows=artifact.test,
+        )
+        pruned = prune_locations(predictor, artifact.test)
+        return AttackTarget(
+            user_id=user_id,
+            predictor=predictor,
+            windows=artifact.test,
+            prior=prior,
+            pruned_locations=pruned,
+        )
+
+    def attack_targets(
+        self,
+        level: SpatialLevel,
+        method: PersonalizationMethod = PersonalizationMethod.TL_FE,
+        prior_method: PriorMethod = PriorMethod.TRUE,
+        temperature: Optional[float] = None,
+    ) -> Dict[int, AttackTarget]:
+        """Attack targets for the whole personal population."""
+        return {
+            uid: self.attack_target(uid, level, method, prior_method, temperature)
+            for uid in self.attack_users()
+        }

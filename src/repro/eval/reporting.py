@@ -1,0 +1,129 @@
+"""Plain-text rendering of experiment results, matching the paper's rows."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.analysis import ScatterStudy
+from repro.eval.experiments import (
+    AttackMethodResult,
+    OverheadResult,
+    PersonalizationRow,
+)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_series(series: Dict[int, float], label: str = "k") -> str:
+    """Render a {k: value} series as one table row block."""
+    headers = [label] + [str(k) for k in series]
+    rows = [["value"] + [f"{v:.2f}" for v in series.values()]]
+    return format_table(headers, rows)
+
+
+def render_attack_methods(results: Dict[str, AttackMethodResult]) -> str:
+    """Table II + Fig 2a combined view."""
+    ks = list(next(iter(results.values())).accuracy)
+    headers = ["method", *[f"top-{k}" for k in ks], "runtime (s)", "queries"]
+    rows = [
+        [r.name, *[r.accuracy[k] for k in ks], r.runtime_seconds, r.queries]
+        for r in results.values()
+    ]
+    return format_table(headers, rows)
+
+
+def render_accuracy_grid(results: Dict[str, Dict[int, float]], row_label: str) -> str:
+    """Generic {series -> {k -> accuracy}} rendering (Figs 2b/2c/3a/5a/5c)."""
+    ks = list(next(iter(results.values())))
+    headers = [row_label, *[f"top-{k}" for k in ks]]
+    rows = [[name, *[series[k] for k in ks]] for name, series in results.items()]
+    return format_table(headers, rows)
+
+
+def render_personalization(results: Dict[str, List[PersonalizationRow]]) -> str:
+    """Table III rendering."""
+    headers = ["location", "method", "train", "top-1", "top-2", "top-3"]
+    rows = []
+    for level, level_rows in results.items():
+        for row in level_rows:
+            rows.append(
+                [level, row.method, row.train_top1, row.test_top1, row.test_top2, row.test_top3]
+            )
+    return format_table(headers, rows)
+
+
+def render_training_sweep(results: Dict[int, List[PersonalizationRow]]) -> str:
+    """Table IV rendering."""
+    headers = ["weeks", "method", "train", "top-1", "top-2", "top-3"]
+    rows = []
+    for weeks, week_rows in results.items():
+        for row in week_rows:
+            rows.append(
+                [weeks, row.method, row.train_top1, row.test_top1, row.test_top2, row.test_top3]
+            )
+    return format_table(headers, rows)
+
+
+def render_overhead(result: OverheadResult) -> str:
+    """§V-C2 rendering."""
+    headers = ["phase", "billion cycles", "wall seconds"]
+    rows = [["cloud general training", result.cloud.estimated_billion_cycles, result.cloud.wall_seconds]]
+    for method, report in result.device_per_method.items():
+        rows.append(
+            [f"device personalization ({method})", report.estimated_billion_cycles, report.wall_seconds]
+        )
+    for method in result.device_per_method:
+        rows.append([f"cloud/device ratio ({method})", result.ratio(method), ""])
+    return format_table(headers, rows)
+
+
+def render_bar_chart(
+    series: Dict[str, float], width: int = 40, unit: str = "%"
+) -> str:
+    """Render a horizontal ASCII bar chart for one named series.
+
+    Used by the CLI to approximate the paper's figures in a terminal::
+
+        true     ████████████████████████  61.1%
+        none     █████████████             33.3%
+    """
+    if not series:
+        return "(empty series)"
+    label_width = max(len(str(k)) for k in series)
+    peak = max(max(series.values()), 1e-12)
+    lines = []
+    for name, value in series.items():
+        filled = int(round(width * value / peak)) if value > 0 else 0
+        bar = "█" * filled
+        lines.append(f"{str(name).ljust(label_width)}  {bar.ljust(width)}  {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_scatter(studies: Dict[str, ScatterStudy]) -> str:
+    """Fig 3b/3c rendering: per-level correlations plus the raw points."""
+    lines = []
+    for level, study in studies.items():
+        corr = study.correlation()
+        lines.append(
+            f"{level}: r={corr.coefficient:.3f} p={corr.p_value:.3g} n={corr.n} "
+            f"({study.covariate_name} vs attack accuracy)"
+        )
+        for uid, (x, yv) in sorted(study.points.items()):
+            lines.append(f"  user {uid}: {study.covariate_name}={x:.1f} attack={yv:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""``repro.models`` — next-location prediction models (paper §III-A).
+
+General LSTM model, transfer-learning personalization (feature extraction
+and fine tuning), scratch-LSTM and reuse baselines, and the black-box
+predictor interface exposed to the service provider.
+"""
+
+from repro.models.architecture import NextLocationModel
+from repro.models.markov import MarkovChainModel, TimeAwareMarkovModel
+from repro.models.general import GeneralModelConfig, train_general_model
+from repro.models.personalize import (
+    PersonalizationConfig,
+    PersonalizationMethod,
+    personalize,
+)
+from repro.models.predictor import NextLocationPredictor
+
+__all__ = [
+    "GeneralModelConfig",
+    "MarkovChainModel",
+    "TimeAwareMarkovModel",
+    "NextLocationModel",
+    "NextLocationPredictor",
+    "PersonalizationConfig",
+    "PersonalizationMethod",
+    "personalize",
+    "train_general_model",
+]

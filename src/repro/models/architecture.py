@@ -1,0 +1,107 @@
+"""The next-location prediction architecture (paper Figure 1).
+
+One class covers all three variants in the figure:
+
+* **general model** (Fig 1a): ``LSTM stack -> Linear`` trained on pooled
+  contributor data;
+* **TL feature extraction** (Fig 1b): the general model's LSTM stack frozen,
+  a *surplus* LSTM layer appended before the (re-trained) linear head;
+* **TL fine-tuning** (Fig 1c): the general model copied, first LSTM layer
+  frozen, later layers re-trained.
+
+Every model ends with a :class:`~repro.nn.layers.TemperatureScaling` privacy
+layer (identity until Pelican configures it, §V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import LSTM, Linear, Module, TemperatureScaling, Tensor, as_tensor
+
+
+class NextLocationModel(Module):
+    """LSTM next-location predictor over one-hot session sequences.
+
+    Parameters
+    ----------
+    input_width:
+        Width of the encoded session vector (``FeatureSpec.width``).
+    num_locations:
+        Size of the output location vocabulary.
+    hidden_size, num_layers, dropout:
+        LSTM stack configuration (paper defaults: 128 hidden, 2 layers,
+        dropout 0.1 between layers).
+    """
+
+    def __init__(
+        self,
+        input_width: int,
+        num_locations: int,
+        hidden_size: int,
+        num_layers: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.input_width = input_width
+        self.num_locations = num_locations
+        self.hidden_size = hidden_size
+        self.lstm = LSTM(input_width, hidden_size, num_layers, rng, dropout=dropout)
+        self.extra: Optional[LSTM] = None
+        self.head = Linear(hidden_size, num_locations, rng)
+        self.privacy = TemperatureScaling(1.0)
+
+    def add_surplus_lstm(self, rng: np.random.Generator) -> None:
+        """Append the TL-FE surplus LSTM layer (Fig 1b)."""
+        if self.extra is not None:
+            raise ValueError("surplus LSTM already present")
+        self.extra = LSTM(self.hidden_size, self.hidden_size, 1, rng, dropout=0.0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return logits of shape ``(batch, num_locations)``.
+
+        In eval mode the privacy layer divides logits by its temperature;
+        downstream consumers apply softmax to obtain confidences.
+        """
+        x = as_tensor(x)
+        hidden = self.lstm(x)
+        if self.extra is not None:
+            hidden = self.extra(hidden)
+        last = hidden[:, hidden.shape[1] - 1, :]
+        logits = self.head(last)
+        return self.privacy(logits)
+
+    # ------------------------------------------------------------------
+    # Privacy controls (Pelican §V-B)
+    # ------------------------------------------------------------------
+    def set_privacy_temperature(self, temperature: float) -> None:
+        """Configure the inference-time privacy tuner."""
+        self.privacy.set_temperature(temperature)
+
+    @property
+    def privacy_temperature(self) -> float:
+        return self.privacy.temperature
+
+    def clone_architecture(self, rng: np.random.Generator) -> "NextLocationModel":
+        """A freshly initialized model with identical dimensions."""
+        clone = NextLocationModel(
+            input_width=self.input_width,
+            num_locations=self.num_locations,
+            hidden_size=self.hidden_size,
+            num_layers=self.lstm.num_layers,
+            dropout=self.lstm.dropout_p,
+            rng=rng,
+        )
+        return clone
+
+    def copy(self, rng: np.random.Generator) -> "NextLocationModel":
+        """A deep copy (same weights, independent parameters)."""
+        clone = self.clone_architecture(rng)
+        if self.extra is not None:
+            clone.add_surplus_lstm(rng)
+        clone.load_state_dict(self.state_dict())
+        clone.set_privacy_temperature(self.privacy_temperature)
+        return clone

@@ -1,0 +1,69 @@
+"""Cloud-side general model training (paper §III-A1, §V-A1).
+
+The general model ``M_G`` is a 2-layer LSTM trained on the pooled
+trajectories of all contributor users.  The paper trains with lr 1e-4,
+weight decay 1e-6, hidden 128, batch 128, dropout 0.1; our defaults keep the
+same structure but scale hidden size and learning rate to the reduced corpus
+(all knobs are explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+from repro.models.architecture import NextLocationModel
+from repro.nn import FitResult, fit
+
+
+@dataclass
+class GeneralModelConfig:
+    """Hyperparameters for general-model training."""
+
+    hidden_size: int = 64  # paper: 128
+    num_layers: int = 2
+    dropout: float = 0.1
+    learning_rate: float = 3e-3  # paper: 1e-4 at full scale
+    weight_decay: float = 1e-6
+    batch_size: int = 128
+    epochs: int = 12
+    grad_clip: float = 5.0
+    patience: Optional[int] = 4
+
+
+def train_general_model(
+    train_dataset: SequenceDataset,
+    config: GeneralModelConfig,
+    rng: np.random.Generator,
+) -> Tuple[NextLocationModel, FitResult]:
+    """Train ``M_G`` on pooled contributor windows.
+
+    Returns the trained model (in eval mode) and the fit record.
+    """
+    spec = train_dataset.spec
+    model = NextLocationModel(
+        input_width=spec.width,
+        num_locations=spec.num_locations,
+        hidden_size=config.hidden_size,
+        num_layers=config.num_layers,
+        dropout=config.dropout,
+        rng=rng,
+    )
+    X, y = train_dataset.encode()
+    result = fit(
+        model,
+        X,
+        y,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        lr=config.learning_rate,
+        weight_decay=config.weight_decay,
+        rng=rng,
+        grad_clip=config.grad_clip,
+        patience=config.patience,
+    )
+    model.eval()
+    return model, result

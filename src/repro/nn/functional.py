@@ -1,0 +1,88 @@
+"""Functional operations shared across layers, losses, and attacks.
+
+Includes the temperature-scaled softmax from Equation (1) of the paper,
+which is used twice in the reproduction:
+
+* by the *gradient-descent inversion attack* to soften candidate inputs
+  toward one-hot encodings during reconstruction (§III-B2), and
+* by the *Pelican privacy layer* to sharpen output confidences at inference
+  time (§V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Temperature-scaled softmax: ``p_i = exp(z_i/T) / sum_j exp(z_j/T)``.
+
+    Implemented with the max-subtraction trick for numerical stability.
+    ``temperature`` must be positive; values below 1 sharpen the
+    distribution, values above 1 flatten it.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    x = as_tensor(x)
+    scaled = x * (1.0 / temperature)
+    shifted = scaled - scaled.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Numerically stable ``log(softmax(x/T))``."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    x = as_tensor(x)
+    scaled = x * (1.0 / temperature)
+    shifted = scaled - scaled.max(axis=axis, keepdims=True).detach()
+    logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsumexp
+
+
+def softmax_np(logits: np.ndarray, axis: int = -1, temperature: float = 1.0) -> np.ndarray:
+    """Pure-numpy temperature softmax for inference-only paths."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = np.asarray(logits, dtype=np.float64) / temperature
+    shifted = scaled - scaled.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer indices as one-hot rows.
+
+    Parameters
+    ----------
+    indices:
+        Integer array of any shape.
+    num_classes:
+        Size of the final one-hot axis; every index must satisfy
+        ``0 <= index < num_classes``.
+    """
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError(
+            f"indices out of range [0, {num_classes}): "
+            f"min={indices.min()}, max={indices.max()}"
+        )
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def top_k_indices(scores: np.ndarray, k: int, axis: int = -1) -> np.ndarray:
+    """Indices of the ``k`` largest entries, sorted descending by score."""
+    scores = np.asarray(scores)
+    k = min(k, scores.shape[axis])
+    part = np.argpartition(-scores, k - 1, axis=axis)
+    top = np.take(part, range(k), axis=axis)
+    top_scores = np.take_along_axis(scores, top, axis=axis)
+    order = np.argsort(-top_scores, axis=axis, kind="stable")
+    return np.take_along_axis(top, order, axis=axis)

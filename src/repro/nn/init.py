@@ -1,0 +1,36 @@
+"""Parameter initializers for ``repro.nn`` layers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model
+in the reproduction is bit-for-bit reproducible from a seed (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_lstm(rng: np.random.Generator, shape: Tuple[int, ...], hidden_size: int) -> np.ndarray:
+    """PyTorch-style LSTM init: U(-1/sqrt(H), 1/sqrt(H))."""
+    bound = 1.0 / np.sqrt(hidden_size)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

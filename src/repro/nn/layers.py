@@ -1,0 +1,124 @@
+"""Core layers: Linear, Dropout, Sequential, and the Pelican privacy layer.
+
+:class:`TemperatureScaling` is the paper's §V-B privacy enhancement — a
+layer inserted between the final linear layer and the softmax that divides
+logits by a user-chosen temperature ``T`` at *inference time only*.  As
+``T → 0`` the confidence of the most probable class tends to 1, collapsing
+the signal the inversion attack exploits while preserving the argmax (and
+hence top-k ordering and model accuracy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Xavier-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializers.xavier_uniform(rng, (in_features, out_features)))
+        self.bias = Parameter(initializers.zeros((out_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x) @ self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The mask is drawn from the generator supplied at construction so that
+    training runs are reproducible.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Sequential(Module):
+    """Run modules in order; mirrors ``torch.nn.Sequential``.
+
+    Used by the transfer-learning feature-extraction method (paper
+    §III-A3 / §V-C1) to stack a new LSTM layer on top of the frozen general
+    model's representation layers.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.steps: List[Module] = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.steps.append(module)
+        return self
+
+    def forward(self, x):
+        for module in self.steps:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.steps[index]
+
+
+class TemperatureScaling(Module):
+    """Pelican's privacy layer (paper §V-B, Equation 1).
+
+    Divides logits by temperature ``T`` before the downstream softmax.  The
+    layer is *inference-only*: during training it is the identity, so the
+    privacy enhancement never interferes with model fitting.
+
+    The temperature is user-chosen (a "privacy tuner") and assumed secret
+    from the service provider.  Because scaling by a positive constant is
+    monotone, class ordering — and therefore top-k accuracy — is unchanged.
+    """
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        super().__init__()
+        self.set_temperature(temperature)
+
+    def set_temperature(self, temperature: float) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = float(temperature)
+
+    def forward(self, logits: Tensor) -> Tensor:
+        logits = as_tensor(logits)
+        if self.training or self.temperature == 1.0:
+            return logits
+        return logits * (1.0 / self.temperature)
+
+    def __repr__(self) -> str:
+        return f"TemperatureScaling(T={self.temperature})"

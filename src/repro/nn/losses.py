@@ -1,0 +1,41 @@
+"""Loss functions for classification over location vocabularies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy between logits and integer class targets.
+
+    Combines log-softmax and negative log-likelihood in one numerically
+    stable op, like ``torch.nn.CrossEntropyLoss``.
+    """
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        logits = as_tensor(logits)
+        targets = np.asarray(targets, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (batch, classes); got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with batch {logits.shape[0]}"
+            )
+        log_probs = log_softmax(logits, axis=-1)
+        batch = logits.shape[0]
+        picked = log_probs[np.arange(batch), targets]
+        return -picked.mean()
+
+
+class NLLLoss:
+    """Mean negative log-likelihood over already-log-probabilities."""
+
+    def __call__(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        log_probs = as_tensor(log_probs)
+        targets = np.asarray(targets, dtype=np.int64)
+        batch = log_probs.shape[0]
+        picked = log_probs[np.arange(batch), targets]
+        return -picked.mean()

@@ -1,0 +1,126 @@
+"""Alternative recurrent cells: vanilla RNN and GRU.
+
+The paper's §II motivates the LSTM choice historically: "Early approaches
+were based on RNNs while the state-of-the-art approaches use LSTMs" for
+their ability to keep long-term dependencies.  These cells (plus
+:class:`RecurrentStack`, a drop-in multi-layer runner) let the
+architecture-ablation benchmark quantify that choice on the
+next-location task.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor, stack
+
+
+class RNNCell(Module):
+    """Elman RNN step: ``h' = tanh(x W_ih + h W_hh + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            initializers.uniform_lstm(rng, (input_size, hidden_size), hidden_size)
+        )
+        self.weight_hh = Parameter(
+            initializers.uniform_lstm(rng, (hidden_size, hidden_size), hidden_size)
+        )
+        self.bias = Parameter(initializers.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, state: Tensor) -> Tuple[Tensor, Tensor]:
+        h_next = (as_tensor(x) @ self.weight_ih + state @ self.weight_hh + self.bias).tanh()
+        return h_next, h_next
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRUCell(Module):
+    """Gated recurrent unit (Cho et al., 2014).
+
+    Gate layout in the stacked matrices: ``[reset | update | candidate]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            initializers.uniform_lstm(rng, (input_size, 3 * hidden_size), hidden_size)
+        )
+        self.weight_hh = Parameter(
+            initializers.uniform_lstm(rng, (hidden_size, 3 * hidden_size), hidden_size)
+        )
+        self.bias = Parameter(initializers.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, state: Tensor) -> Tuple[Tensor, Tensor]:
+        H = self.hidden_size
+        x = as_tensor(x)
+        gates_x = x @ self.weight_ih + self.bias
+        gates_h = state @ self.weight_hh
+        reset = (gates_x[:, 0:H] + gates_h[:, 0:H]).sigmoid()
+        update = (gates_x[:, H : 2 * H] + gates_h[:, H : 2 * H]).sigmoid()
+        candidate = (gates_x[:, 2 * H : 3 * H] + reset * gates_h[:, 2 * H : 3 * H]).tanh()
+        h_next = update * state + (1.0 - update) * candidate
+        return h_next, h_next
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class RecurrentStack(Module):
+    """Multi-layer batch-first runner over simple (h-state) cells.
+
+    Mirrors :class:`repro.nn.lstm.LSTM` for RNN/GRU cells: input
+    ``(batch, seq, features)``, output ``(batch, seq, hidden)`` with
+    inter-layer dropout in training mode.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        cell_type: Type[Module] = GRUCell,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.dropout_p = dropout
+        self._rng = rng
+        self.cells: List[Module] = [
+            cell_type(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, seq, features); got shape {x.shape}")
+        batch, seq_len, _ = x.shape
+        layer_input = [x[:, t, :] for t in range(seq_len)]
+        for layer_idx, cell in enumerate(self.cells):
+            state = cell.initial_state(batch)
+            outputs = []
+            for step_x in layer_input:
+                h, state = cell(step_x, state)
+                outputs.append(h)
+            if layer_idx < self.num_layers - 1 and self.dropout_p > 0 and self.training:
+                keep = 1.0 - self.dropout_p
+                outputs = [
+                    h * Tensor((self._rng.random(h.shape) < keep) / keep) for h in outputs
+                ]
+            layer_input = outputs
+        return stack(layer_input, axis=1)

@@ -1,0 +1,57 @@
+"""Checkpoint save/load for models moving between cloud and device.
+
+Pelican downloads the general model from the cloud to the device for
+personalization (paper §V-A2) and may upload a personalized model back for
+cloud deployment (§V-A3).  Checkpoints are plain ``.npz`` archives of the
+module's state dict plus a JSON metadata blob, so payload sizes can be
+measured by the simulated transport layer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__meta__"
+
+
+def serialize_state(state: Dict[str, np.ndarray], metadata: Dict[str, Any] | None = None) -> bytes:
+    """Serialize a state dict (plus metadata) to bytes."""
+    buffer = io.BytesIO()
+    payload = dict(state)
+    meta = json.dumps(metadata or {}).encode("utf-8")
+    payload[_META_KEY] = np.frombuffer(meta, dtype=np.uint8)
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def deserialize_state(blob: bytes) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Inverse of :func:`serialize_state`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+        metadata: Dict[str, Any] = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+    return state, metadata
+
+
+def save_module(module: Module, path: Union[str, Path], metadata: Dict[str, Any] | None = None) -> int:
+    """Write a module checkpoint to ``path``; returns the byte size."""
+    blob = serialize_state(module.state_dict(), metadata)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return len(blob)
+
+
+def load_module(module: Module, path: Union[str, Path], strict: bool = True) -> Dict[str, Any]:
+    """Load a checkpoint into ``module``; returns the stored metadata."""
+    state, metadata = deserialize_state(Path(path).read_bytes())
+    module.load_state_dict(state, strict=strict)
+    return metadata

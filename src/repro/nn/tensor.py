@@ -1,0 +1,495 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate, which stands in
+for PyTorch in this reproduction (see DESIGN.md §2).  A :class:`Tensor` wraps
+a ``numpy.ndarray`` together with an optional gradient and a closure that
+propagates gradients to its inputs.  Calling :meth:`Tensor.backward` on a
+scalar tensor walks the recorded computation graph in reverse topological
+order and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+The engine supports full numpy-style broadcasting: gradients flowing into a
+broadcast operand are summed back down to the operand's original shape by
+:func:`_unbroadcast`.
+
+The gradient-descent model-inversion attack (paper §III-B) depends on
+computing gradients *with respect to model inputs*; this engine supports that
+directly because inputs are ordinary tensors that may require gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn import profiler
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# Gradient computation can be globally disabled (e.g. during inference) to
+# avoid building graphs; mirrors ``torch.no_grad``.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Example::
+
+        with no_grad():
+            logits = model(x)   # no autograd bookkeeping
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting can (a) prepend dimensions and (b) stretch size-1 axes.
+    Both are undone by summation, which is the adjoint of broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Collapse stretched axes.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array data (copied to ``float64`` ndarray if necessary).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+
+    Attributes
+    ----------
+    grad:
+        Accumulated gradient (same shape as ``data``) or ``None``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = "") -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_not_scalar(self)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result tensor, recording the graph edge if enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        If this tensor is not a scalar, an explicit output gradient must be
+        supplied.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not (parent.requires_grad or parent._backward):
+                    continue
+                existing = grads.get(id(parent))
+                grads[id(parent)] = pgrad if existing is None else existing + pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(grad, other_t.shape),
+            )
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * other_t.data, self.shape),
+                _unbroadcast(grad * self.data, other_t.shape),
+            )
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / other_t.data, self.shape),
+                _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape),
+            )
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        if self.ndim < 1 or other_t.ndim < 1:
+            raise ValueError("matmul requires tensors with at least 1 dimension")
+        data = self.data @ other_t.data
+        profiler.record_matmul(self.data.shape, other_t.data.shape)
+
+        def backward(grad: np.ndarray):
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                return (grad * b, grad * a)
+            if a.ndim == 1:
+                # (k,) @ (k, n) -> (n,)
+                profiler.record_matmul(grad.shape, b.T.shape)
+                return (grad @ b.T, np.outer(a, grad))
+            if b.ndim == 1:
+                # (m, k) @ (k,) -> (m,)
+                profiler.record_matmul(a.T.shape, grad.shape)
+                return (np.outer(grad, b), a.T @ grad)
+            bT = np.swapaxes(b, -1, -2)
+            aT = np.swapaxes(a, -1, -2)
+            profiler.record_matmul(grad.shape, bT.shape)
+            profiler.record_matmul(aT.shape, grad.shape)
+            ga = grad @ bT
+            gb = aT @ grad
+            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad / self.data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside range."""
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape manipulation
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            d = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                d = np.expand_dims(d, axis=axis)
+            mask = self.data == d
+            # Split gradient equally among ties, matching numpy semantics loosely.
+            counts = mask.sum(axis=axis if axis is not None else None, keepdims=True)
+            return (mask * g / counts,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = axes if axes else tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes_t)
+        inverse = tuple(np.argsort(axes_t))
+
+        def backward(grad: np.ndarray):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+
+def _raise_not_scalar(t: Tensor) -> float:
+    raise ValueError(f"item() requires a single-element tensor; got shape {t.shape}")
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return nodes reachable from ``root`` in reverse topological order."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op if already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.array_split(grad, splits, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tuple(tensors), backward)

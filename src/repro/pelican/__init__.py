@@ -1,0 +1,65 @@
+"""``repro.pelican`` — the Pelican framework (paper §V).
+
+Cloud-based initial training, device-based personalization, privacy
+enhancement via inference-time temperature scaling, deployment (local or
+cloud), incremental model updates, and simulated device/cloud transport.
+"""
+
+from repro.pelican.cloud import CloudTrainer, ResourceReport
+from repro.pelican.defenses import (
+    GaussianNoiseDefense,
+    OutputDefense,
+    RoundingDefense,
+    TopKOnlyDefense,
+)
+from repro.pelican.deployment import (
+    DeploymentMode,
+    QueryStats,
+    ServiceEndpoint,
+    deploy_cloud,
+    deploy_local,
+)
+from repro.pelican.device import DevicePersonalizer, DeviceProfile, rebuild_general_model
+from repro.pelican.privacy import (
+    DEFAULT_PRIVACY_TEMPERATURE,
+    PrivacyReport,
+    apply_privacy,
+    confidence_sharpness,
+    leakage_reduction,
+    leakage_reduction_series,
+    remove_privacy,
+)
+from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
+from repro.pelican.transport import Channel, TransferRecord
+from repro.pelican.updates import UpdateResult, update_personal_model
+
+__all__ = [
+    "Channel",
+    "CloudTrainer",
+    "DEFAULT_PRIVACY_TEMPERATURE",
+    "DeploymentMode",
+    "GaussianNoiseDefense",
+    "OutputDefense",
+    "RoundingDefense",
+    "TopKOnlyDefense",
+    "DevicePersonalizer",
+    "DeviceProfile",
+    "OnboardedUser",
+    "Pelican",
+    "PelicanConfig",
+    "PrivacyReport",
+    "QueryStats",
+    "ResourceReport",
+    "ServiceEndpoint",
+    "TransferRecord",
+    "UpdateResult",
+    "apply_privacy",
+    "confidence_sharpness",
+    "deploy_cloud",
+    "deploy_local",
+    "leakage_reduction",
+    "leakage_reduction_series",
+    "rebuild_general_model",
+    "remove_privacy",
+    "update_personal_model",
+]

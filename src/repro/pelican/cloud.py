@@ -1,0 +1,71 @@
+"""Phase 1 — cloud-based initial training (paper §V-A1).
+
+The cloud trainer fits the general model ``M_G`` on pooled contributor
+trajectories and publishes it as a serialized checkpoint for devices to
+download.  Training cost is measured with the FLOP profiler so the overhead
+comparison against device-based personalization (§V-C2) is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+from repro.models.architecture import NextLocationModel
+from repro.models.general import GeneralModelConfig, train_general_model
+from repro.nn.profiler import FlopCounter, flop_counter
+from repro.nn.serialization import serialize_state
+
+
+@dataclass
+class ResourceReport:
+    """Compute cost of one training phase."""
+
+    macs: int
+    estimated_billion_cycles: float
+    wall_seconds: float
+
+    @classmethod
+    def from_counter(cls, counter: FlopCounter) -> "ResourceReport":
+        return cls(
+            macs=counter.macs,
+            estimated_billion_cycles=counter.estimated_billion_cycles(),
+            wall_seconds=counter.elapsed_seconds,
+        )
+
+
+class CloudTrainer:
+    """Trains and publishes the general model."""
+
+    def __init__(self, config: GeneralModelConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.general_model: Optional[NextLocationModel] = None
+        self.training_report: Optional[ResourceReport] = None
+
+    def train(self, contributor_dataset: SequenceDataset) -> NextLocationModel:
+        """Fit ``M_G`` on pooled contributor windows, recording compute."""
+        rng = np.random.default_rng(self.seed)
+        with flop_counter() as counter:
+            model, _ = train_general_model(contributor_dataset, self.config, rng)
+        self.general_model = model
+        self.training_report = ResourceReport.from_counter(counter)
+        return model
+
+    def publish(self) -> bytes:
+        """Serialize the trained general model for device download."""
+        if self.general_model is None:
+            raise RuntimeError("general model has not been trained yet")
+        return serialize_state(
+            self.general_model.state_dict(),
+            metadata={
+                "input_width": self.general_model.input_width,
+                "num_locations": self.general_model.num_locations,
+                "hidden_size": self.general_model.hidden_size,
+                "num_layers": self.general_model.lstm.num_layers,
+                "dropout": self.general_model.lstm.dropout_p,
+            },
+        )

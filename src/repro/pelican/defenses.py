@@ -1,0 +1,140 @@
+"""Alternative inference-time defenses (the paper's Table V taxonomy).
+
+Pelican's contribution is the temperature privacy layer, but the paper's
+related-work table surveys the design space of defenses against attribute
+inference.  This module implements the *output perturbation* family so the
+temperature defense can be compared head-to-head (see
+``benchmarks/test_defense_comparison.py``):
+
+* :class:`GaussianNoiseDefense` — add calibrated noise to confidence
+  scores and renormalize (MemGuard-style perturbation, Table V row
+  "Output perturbation").  Hurts top-k accuracy at high noise.
+* :class:`RoundingDefense` — quantize confidences to a fixed number of
+  decimal places (a common production mitigation).  Creates ties that
+  blunt enumeration attacks.
+* :class:`TopKOnlyDefense` — release only the top-k confidences, zeroing
+  the tail (the "don't reveal more than the service needs" principle of
+  paper §III-B).
+
+All defenses wrap a :class:`~repro.models.predictor.NextLocationPredictor`
+and present the same query interface, so the attack code runs against them
+unchanged.  Unlike the temperature layer they may *change* top-k accuracy
+— the comparison benchmark quantifies the utility cost of each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.features import SessionFeatures
+from repro.models.predictor import NextLocationPredictor
+from repro.nn.functional import top_k_indices
+
+
+class OutputDefense:
+    """Base: a predictor wrapper that perturbs released confidences."""
+
+    name = "identity"
+
+    def __init__(self, predictor: NextLocationPredictor) -> None:
+        self.predictor = predictor
+        self.spec = predictor.spec
+
+    def _perturb(self, probs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- the black-box query interface attacks and services consume -----
+    def confidences_encoded(self, batch: np.ndarray) -> np.ndarray:
+        return self._perturb(self.predictor.confidences_encoded(batch))
+
+    def confidences(self, history: Sequence[SessionFeatures]) -> np.ndarray:
+        encoded = self.spec.encode_sequence(history)[None, :, :]
+        return self.confidences_encoded(encoded)[0]
+
+    def top_k(self, history: Sequence[SessionFeatures], k: int) -> List[Tuple[int, float]]:
+        probs = self.confidences(history)
+        order = top_k_indices(probs, k)
+        return [(int(loc), float(probs[loc])) for loc in order]
+
+    def top_k_accuracy(self, X: np.ndarray, y: np.ndarray, k: int) -> float:
+        """Service accuracy through the defense (may degrade, unlike the
+        temperature layer)."""
+        if len(X) == 0:
+            return float("nan")
+        probs = self.confidences_encoded(X)
+        top = top_k_indices(probs, k, axis=-1)
+        hits = (top == np.asarray(y)[:, None]).any(axis=1)
+        return float(hits.mean())
+
+    @property
+    def query_count(self) -> int:
+        return self.predictor.query_count
+
+    @property
+    def model(self):
+        return self.predictor.model
+
+
+class GaussianNoiseDefense(OutputDefense):
+    """Add zero-mean Gaussian noise to confidences, clip, renormalize."""
+
+    name = "gaussian-noise"
+
+    def __init__(
+        self, predictor: NextLocationPredictor, sigma: float = 0.05, seed: int = 0
+    ) -> None:
+        super().__init__(predictor)
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def _perturb(self, probs: np.ndarray) -> np.ndarray:
+        noisy = probs + self._rng.normal(0.0, self.sigma, size=probs.shape)
+        noisy = np.clip(noisy, 1e-12, None)
+        return noisy / noisy.sum(axis=-1, keepdims=True)
+
+
+class RoundingDefense(OutputDefense):
+    """Quantize confidences to ``decimals`` places (then renormalize)."""
+
+    name = "rounding"
+
+    def __init__(self, predictor: NextLocationPredictor, decimals: int = 2) -> None:
+        super().__init__(predictor)
+        if decimals < 0:
+            raise ValueError("decimals must be non-negative")
+        self.decimals = decimals
+
+    def _perturb(self, probs: np.ndarray) -> np.ndarray:
+        rounded = np.round(probs, self.decimals)
+        totals = rounded.sum(axis=-1, keepdims=True)
+        # All-zero rows (everything rounded away) fall back to uniform.
+        uniform = np.full_like(rounded, 1.0 / rounded.shape[-1])
+        safe = np.where(totals > 0, rounded / np.where(totals == 0, 1.0, totals), uniform)
+        return safe
+
+
+class TopKOnlyDefense(OutputDefense):
+    """Release only the ``k`` largest confidences; zero the tail."""
+
+    name = "top-k-only"
+
+    def __init__(self, predictor: NextLocationPredictor, k: int = 3) -> None:
+        super().__init__(predictor)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def _perturb(self, probs: np.ndarray) -> np.ndarray:
+        squeeze = probs.ndim == 1
+        if squeeze:
+            probs = probs[None, :]
+        kept = np.zeros_like(probs)
+        top = top_k_indices(probs, self.k, axis=-1)
+        np.put_along_axis(kept, top, np.take_along_axis(probs, top, axis=-1), axis=-1)
+        totals = kept.sum(axis=-1, keepdims=True)
+        kept = kept / np.where(totals == 0, 1.0, totals)
+        return kept[0] if squeeze else kept

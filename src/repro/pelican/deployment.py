@@ -1,0 +1,138 @@
+"""Phase 3 — model deployment (paper §V-A3).
+
+Two deployment modes:
+
+* **local** — the personal model stays on the device; the service invokes
+  it through an on-device API.  Minimizes what the provider learns.
+* **cloud** — the personal model (with its privacy layer already attached)
+  is uploaded to the provider's servers.  The provider gains unlimited
+  black-box query access, which is exactly the threat the privacy layer is
+  designed to survive.
+
+Both modes expose the same :class:`ServiceEndpoint` interface so the mobile
+service code is deployment agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.features import FeatureSpec, SessionFeatures
+from repro.models.architecture import NextLocationModel
+from repro.models.predictor import NextLocationPredictor
+from repro.nn.serialization import deserialize_state, serialize_state
+from repro.pelican.transport import Channel
+
+
+class DeploymentMode(str, Enum):
+    """Where the personal model executes."""
+
+    LOCAL = "local"
+    CLOUD = "cloud"
+
+
+@dataclass
+class QueryStats:
+    """Accounting of service queries against one endpoint."""
+
+    queries: int = 0
+    simulated_network_seconds: float = 0.0
+
+
+class ServiceEndpoint:
+    """The query interface a mobile service sees for one user's model."""
+
+    def __init__(
+        self,
+        predictor: NextLocationPredictor,
+        mode: DeploymentMode,
+        channel: Optional[Channel] = None,
+    ) -> None:
+        if mode == DeploymentMode.CLOUD and channel is None:
+            raise ValueError("cloud deployment requires a channel")
+        self.predictor = predictor
+        self.mode = mode
+        self.channel = channel
+        self.stats = QueryStats()
+
+    def top_k(self, history: Sequence[SessionFeatures], k: int) -> List[Tuple[int, float]]:
+        """Top-k next-location prediction with confidences.
+
+        Local deployments pay a round trip only when the *service backend*
+        needs the answer (modeled as one small up/down exchange); cloud
+        deployments run server side, so the device pays the round trip.
+        Either way one RTT-sized exchange is recorded.
+        """
+        self.stats.queries += 1
+        if self.channel is not None:
+            payload = b"x" * 256  # a context upload / prediction download
+            self.stats.simulated_network_seconds += self.channel.upload(
+                payload, label="query-context"
+            )
+            self.stats.simulated_network_seconds += self.channel.download(
+                payload, label="query-result"
+            )
+        return self.predictor.top_k(history, k)
+
+    def confidences(self, history: Sequence[SessionFeatures]) -> np.ndarray:
+        """Full confidence vector (what the provider can always observe)."""
+        self.stats.queries += 1
+        return self.predictor.confidences(history)
+
+
+def deploy_local(
+    model: NextLocationModel, spec: FeatureSpec, channel: Optional[Channel] = None
+) -> ServiceEndpoint:
+    """Keep the model on the device."""
+    return ServiceEndpoint(NextLocationPredictor(model, spec), DeploymentMode.LOCAL, channel)
+
+
+def deploy_cloud(
+    model: NextLocationModel,
+    spec: FeatureSpec,
+    channel: Channel,
+    rng: np.random.Generator,
+) -> Tuple[ServiceEndpoint, float]:
+    """Upload the personal model to the cloud and serve from there.
+
+    The model is serialized, shipped over the channel, and reconstructed
+    server side; returns the endpoint and the simulated upload seconds.
+    The privacy temperature travels with the model *configuration* but its
+    value is chosen by the user and applied before upload — the provider
+    only ever holds the already-defended model.
+    """
+    blob = serialize_state(
+        model.state_dict(),
+        metadata={
+            "input_width": model.input_width,
+            "num_locations": model.num_locations,
+            "hidden_size": model.hidden_size,
+            "num_layers": model.lstm.num_layers,
+            "dropout": model.lstm.dropout_p,
+            "has_surplus": model.extra is not None,
+            "temperature": model.privacy_temperature,
+        },
+    )
+    upload_seconds = channel.upload(blob, label="personal-model")
+    state, metadata = deserialize_state(blob)
+    server_model = NextLocationModel(
+        input_width=int(metadata["input_width"]),
+        num_locations=int(metadata["num_locations"]),
+        hidden_size=int(metadata["hidden_size"]),
+        num_layers=int(metadata["num_layers"]),
+        dropout=float(metadata["dropout"]),
+        rng=rng,
+    )
+    if metadata["has_surplus"]:
+        server_model.add_surplus_lstm(rng)
+    server_model.load_state_dict(state)
+    server_model.set_privacy_temperature(float(metadata["temperature"]))
+    server_model.eval()
+    endpoint = ServiceEndpoint(
+        NextLocationPredictor(server_model, spec), DeploymentMode.CLOUD, channel
+    )
+    return endpoint, upload_seconds

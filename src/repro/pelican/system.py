@@ -1,0 +1,194 @@
+"""The Pelican orchestrator (paper Figure 4).
+
+Ties the four phases together for a population of users:
+
+1. cloud-based initial training of ``M_G``;
+2. device-based personalization of ``M_P`` per user (with the privacy
+   enhancement attached on device);
+3. deployment, local or cloud;
+4. periodic personal-model updates.
+
+This is the end-to-end entry point used by the examples; each phase is also
+usable standalone (``CloudTrainer``, ``DevicePersonalizer``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+from repro.data.features import FeatureSpec, SessionFeatures
+from repro.models.general import GeneralModelConfig
+from repro.models.personalize import PersonalizationConfig, PersonalizationMethod
+from repro.pelican.cloud import CloudTrainer, ResourceReport
+from repro.pelican.deployment import (
+    DeploymentMode,
+    ServiceEndpoint,
+    deploy_cloud,
+    deploy_local,
+)
+from repro.pelican.device import DevicePersonalizer, DeviceProfile
+from repro.pelican.privacy import DEFAULT_PRIVACY_TEMPERATURE
+from repro.pelican.transport import Channel
+from repro.pelican.updates import update_personal_model
+
+
+@dataclass
+class PelicanConfig:
+    """System-wide configuration."""
+
+    general: GeneralModelConfig = field(default_factory=GeneralModelConfig)
+    personalization: PersonalizationConfig = field(default_factory=PersonalizationConfig)
+    method: PersonalizationMethod = PersonalizationMethod.TL_FE
+    privacy_temperature: float = DEFAULT_PRIVACY_TEMPERATURE
+    deployment: DeploymentMode = DeploymentMode.LOCAL
+    seed: int = 0
+
+
+@dataclass
+class OnboardedUser:
+    """A user with a deployed personal model."""
+
+    user_id: int
+    endpoint: ServiceEndpoint
+    personalization_report: ResourceReport
+    simulated_device_seconds: float
+    local_dataset: SequenceDataset
+
+
+class Pelican:
+    """End-to-end privacy-preserving personalization framework."""
+
+    def __init__(self, spec: FeatureSpec, config: Optional[PelicanConfig] = None) -> None:
+        self.spec = spec
+        self.config = config or PelicanConfig()
+        self.cloud = CloudTrainer(self.config.general, seed=self.config.seed)
+        self.channel = Channel()
+        self._general_blob: Optional[bytes] = None
+        self.users: Dict[int, OnboardedUser] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def initial_training(self, contributor_dataset: SequenceDataset) -> ResourceReport:
+        """Train and publish the general model in the cloud."""
+        self.cloud.train(contributor_dataset)
+        self._general_blob = self.cloud.publish()
+        assert self.cloud.training_report is not None
+        return self.cloud.training_report
+
+    # ------------------------------------------------------------------
+    # Phases 2 & 3
+    # ------------------------------------------------------------------
+    def onboard_user(
+        self,
+        user_id: int,
+        local_dataset: SequenceDataset,
+        privacy_temperature: Optional[float] = None,
+        method: Optional[PersonalizationMethod] = None,
+        deployment: Optional[DeploymentMode] = None,
+    ) -> OnboardedUser:
+        """Personalize on device and deploy for one user.
+
+        ``privacy_temperature`` is the user's privacy tuner (defaults to
+        the system default; the value is never revealed to the provider).
+        """
+        if self._general_blob is None:
+            raise RuntimeError("run initial_training before onboarding users")
+        temperature = (
+            self.config.privacy_temperature
+            if privacy_temperature is None
+            else privacy_temperature
+        )
+        self.channel.download(self._general_blob, label=f"general-model->user{user_id}")
+        personalizer = DevicePersonalizer(
+            self.config.personalization,
+            profile=DeviceProfile(),
+            seed=self.config.seed + user_id + 1,
+        )
+        personal, report, device_seconds = personalizer.personalize(
+            self._general_blob,
+            local_dataset,
+            method or self.config.method,
+            privacy_temperature=temperature,
+        )
+        mode = deployment or self.config.deployment
+        rng = np.random.default_rng(self.config.seed + user_id + 10_000)
+        if mode == DeploymentMode.CLOUD:
+            endpoint, _ = deploy_cloud(personal, self.spec, self.channel, rng)
+        else:
+            endpoint = deploy_local(personal, self.spec)
+        user = OnboardedUser(
+            user_id=user_id,
+            endpoint=endpoint,
+            personalization_report=report,
+            simulated_device_seconds=device_seconds,
+            local_dataset=local_dataset,
+        )
+        self.users[user_id] = user
+        return user
+
+    # ------------------------------------------------------------------
+    # Service queries
+    # ------------------------------------------------------------------
+    def query(
+        self, user_id: int, history: Sequence[SessionFeatures], k: int = 3
+    ) -> List[Tuple[int, float]]:
+        """Top-k next-location prediction for an onboarded user."""
+        return self.users[user_id].endpoint.top_k(history, k)
+
+    # ------------------------------------------------------------------
+    # Phase 4
+    # ------------------------------------------------------------------
+    def update_user(self, user_id: int, new_dataset: SequenceDataset) -> OnboardedUser:
+        """Incrementally refresh a user's personal model and redeploy."""
+        user = self.users[user_id]
+        rng = np.random.default_rng(self.config.seed + user_id + 20_000)
+        result = update_personal_model(
+            user.endpoint.predictor.model, new_dataset, self.config.personalization, rng
+        )
+        mode = user.endpoint.mode
+        if mode == DeploymentMode.CLOUD:
+            endpoint, _ = deploy_cloud(result.model, self.spec, self.channel, rng)
+        else:
+            endpoint = deploy_local(result.model, self.spec)
+        merged = SequenceDataset(
+            spec=user.local_dataset.spec,
+            windows=[*user.local_dataset.windows, *new_dataset.windows],
+        )
+        refreshed = OnboardedUser(
+            user_id=user_id,
+            endpoint=endpoint,
+            personalization_report=result.report,
+            simulated_device_seconds=user.simulated_device_seconds,
+            local_dataset=merged,
+        )
+        self.users[user_id] = refreshed
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def overhead_summary(self) -> Dict[str, float]:
+        """Cloud vs device compute, for the §V-C2 comparison."""
+        cloud_report = self.cloud.training_report
+        device_cycles = [
+            u.personalization_report.estimated_billion_cycles for u in self.users.values()
+        ]
+        return {
+            "cloud_billion_cycles": (
+                cloud_report.estimated_billion_cycles if cloud_report else 0.0
+            ),
+            "cloud_wall_seconds": cloud_report.wall_seconds if cloud_report else 0.0,
+            "device_mean_billion_cycles": float(np.mean(device_cycles)) if device_cycles else 0.0,
+            "device_mean_simulated_seconds": (
+                float(np.mean([u.simulated_device_seconds for u in self.users.values()]))
+                if self.users
+                else 0.0
+            ),
+            "channel_bytes_down": float(self.channel.bytes_down),
+            "channel_bytes_up": float(self.channel.bytes_up),
+        }

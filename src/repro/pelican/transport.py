@@ -1,0 +1,68 @@
+"""Simulated device <-> cloud transport (DESIGN.md §2 substitution).
+
+Pelican is a *distributed* framework: the general model is trained in the
+cloud, downloaded to the device for personalization, and (optionally) the
+personal model is uploaded back for cloud deployment.  This module models
+that channel: every transfer is accounted in bytes and simulated seconds
+under a configurable bandwidth/RTT, so examples and benchmarks can report
+realistic transfer overheads without a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class TransferRecord:
+    """One simulated transfer over the channel."""
+
+    direction: str  # "up" (device -> cloud) or "down" (cloud -> device)
+    num_bytes: int
+    simulated_seconds: float
+    label: str = ""
+
+
+@dataclass
+class Channel:
+    """A device <-> cloud link with bandwidth and round-trip latency."""
+
+    bandwidth_mbps: float = 20.0
+    rtt_ms: float = 40.0
+    records: List[TransferRecord] = field(default_factory=list)
+
+    def _transfer(self, direction: str, blob: bytes, label: str) -> float:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        seconds = self.rtt_ms / 1000.0 + len(blob) * 8 / (self.bandwidth_mbps * 1e6)
+        self.records.append(
+            TransferRecord(
+                direction=direction,
+                num_bytes=len(blob),
+                simulated_seconds=seconds,
+                label=label,
+            )
+        )
+        return seconds
+
+    def download(self, blob: bytes, label: str = "") -> float:
+        """Cloud -> device transfer; returns simulated seconds."""
+        return self._transfer("down", blob, label)
+
+    def upload(self, blob: bytes, label: str = "") -> float:
+        """Device -> cloud transfer; returns simulated seconds."""
+        return self._transfer("up", blob, label)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_down(self) -> int:
+        return sum(r.num_bytes for r in self.records if r.direction == "down")
+
+    @property
+    def bytes_up(self) -> int:
+        return sum(r.num_bytes for r in self.records if r.direction == "up")
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        return sum(r.simulated_seconds for r in self.records)

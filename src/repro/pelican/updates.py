@@ -1,0 +1,81 @@
+"""Phase 4 — model updates (paper §V-A4).
+
+As new personal data accumulates, the transfer-learning process is
+re-invoked with the personal model's current parameters as the starting
+point, then the refreshed model is redeployed.  General-model refreshes are
+supported too, but they force a full re-personalization, which is why the
+paper schedules them infrequently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+from repro.models.architecture import NextLocationModel
+from repro.models.personalize import PersonalizationConfig
+from repro.nn import Adam, fit
+from repro.nn.profiler import flop_counter
+from repro.pelican.cloud import ResourceReport
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one incremental personal-model update."""
+
+    model: NextLocationModel
+    report: ResourceReport
+    epochs_run: int
+
+
+def update_personal_model(
+    personal_model: NextLocationModel,
+    new_dataset: SequenceDataset,
+    config: PersonalizationConfig,
+    rng: np.random.Generator,
+) -> UpdateResult:
+    """Incrementally refresh a personal model with newly collected data.
+
+    Parameters are initialized from the deployed personal model (no
+    retraining from scratch); only the parameters that were trainable
+    during the original personalization (``requires_grad=True``) are
+    updated, so a TL-FE model keeps its general representation frozen.
+    """
+    updated = _clone_preserving_freeze(personal_model, rng)
+    X, y = new_dataset.encode()
+    trainable = updated.trainable_parameters()
+    if not trainable:
+        raise ValueError("personal model has no trainable parameters to update")
+    optimizer = Adam(trainable, lr=config.learning_rate, weight_decay=config.weight_decay)
+    with flop_counter() as counter:
+        result = fit(
+            updated,
+            X,
+            y,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            optimizer=optimizer,
+            rng=rng,
+            grad_clip=config.grad_clip,
+            patience=config.patience,
+        )
+    updated.eval()
+    return UpdateResult(
+        model=updated,
+        report=ResourceReport.from_counter(counter),
+        epochs_run=result.epochs_run,
+    )
+
+
+def _clone_preserving_freeze(
+    model: NextLocationModel, rng: np.random.Generator
+) -> NextLocationModel:
+    """Deep-copy a model, keeping each parameter's requires_grad flag."""
+    clone = model.copy(rng)
+    frozen_flags = {name: param.requires_grad for name, param in model.named_parameters()}
+    for name, param in clone.named_parameters():
+        param.requires_grad = frozen_flags[name]
+    return clone

@@ -1,0 +1,69 @@
+"""Unit tests for adversary knowledge models (Table I)."""
+
+import pytest
+
+from repro.attacks import (
+    AdversaryClass,
+    T_MINUS_1,
+    T_MINUS_2,
+    build_instance,
+    build_instances,
+)
+from repro.data import FeatureSpec, SequenceDataset, SessionFeatures
+from repro.data.dataset import Window
+
+
+@pytest.fixture
+def window():
+    return Window(
+        user_id=9,
+        history=(
+            SessionFeatures(entry_bin=10, duration_bin=5, location=2, day_of_week=1),
+            SessionFeatures(entry_bin=12, duration_bin=3, location=4, day_of_week=1),
+        ),
+        target=6,
+        day_index=3,
+        contiguous=True,
+    )
+
+
+class TestKnowledgeSets:
+    def test_a1_missing_t_minus_1(self):
+        assert AdversaryClass.A1.known_steps == (T_MINUS_2,)
+        assert AdversaryClass.A1.missing_steps == (T_MINUS_1,)
+
+    def test_a2_missing_t_minus_2(self):
+        assert AdversaryClass.A2.known_steps == (T_MINUS_1,)
+        assert AdversaryClass.A2.missing_steps == (T_MINUS_2,)
+
+    def test_a3_missing_both(self):
+        assert AdversaryClass.A3.known_steps == ()
+        assert AdversaryClass.A3.missing_steps == (T_MINUS_2, T_MINUS_1)
+
+
+class TestInstances:
+    def test_a1_instance(self, window):
+        instance = build_instance(window, AdversaryClass.A1)
+        assert set(instance.known) == {T_MINUS_2}
+        assert instance.known[T_MINUS_2].location == 2
+        assert instance.missing == (T_MINUS_1,)
+        assert instance.observed_output == 6
+        assert instance.true_location(T_MINUS_1) == 4
+
+    def test_a2_instance(self, window):
+        instance = build_instance(window, AdversaryClass.A2)
+        assert set(instance.known) == {T_MINUS_1}
+        assert instance.true_location(T_MINUS_2) == 2
+
+    def test_a3_instance_has_no_known_steps(self, window):
+        instance = build_instance(window, AdversaryClass.A3)
+        assert instance.known == {}
+        assert set(instance.missing) == {T_MINUS_2, T_MINUS_1}
+
+    def test_day_of_week_exposed(self, window):
+        instance = build_instance(window, AdversaryClass.A3)
+        assert instance.day_of_week == 1
+
+    def test_build_instances_batches(self, window):
+        instances = build_instances([window, window], AdversaryClass.A1)
+        assert len(instances) == 2

@@ -1,0 +1,98 @@
+"""Unit tests for shared attack machinery."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import rank_locations
+from repro.attacks.base import encode_candidates
+from repro.data import FeatureSpec, SessionFeatures
+
+
+class TestEncodeCandidates:
+    def test_matches_spec_encode(self):
+        spec = FeatureSpec(num_locations=6)
+        known = {0: SessionFeatures(3, 2, 1, 4)}
+        grids = {1: {"entry": np.array([5]), "duration": np.array([7]), "location": np.array([2])}}
+        batch = encode_candidates(spec, known, grids, day_of_week=4, n=1)
+        expected_known = spec.encode(known[0])
+        expected_missing = spec.encode(SessionFeatures(5, 7, 2, 4))
+        np.testing.assert_array_equal(batch[0, 0], expected_known)
+        np.testing.assert_array_equal(batch[0, 1], expected_missing)
+
+    def test_vectorized_rows_differ(self):
+        spec = FeatureSpec(num_locations=4)
+        known = {0: SessionFeatures(0, 0, 0, 0)}
+        grids = {
+            1: {
+                "entry": np.array([0, 1, 2]),
+                "duration": np.array([0, 0, 0]),
+                "location": np.array([1, 2, 3]),
+            }
+        }
+        batch = encode_candidates(spec, known, grids, day_of_week=0, n=3)
+        assert batch.shape == (3, 2, spec.width)
+        for row, (entry, loc) in enumerate([(0, 1), (1, 2), (2, 3)]):
+            assert batch[row, 1, spec.entry_offset + entry] == 1.0
+            assert batch[row, 1, spec.location_offset + loc] == 1.0
+
+    def test_every_row_is_valid_one_hot(self):
+        spec = FeatureSpec(num_locations=4)
+        grids = {
+            0: {
+                "entry": np.array([1, 2]),
+                "duration": np.array([3, 4]),
+                "location": np.array([0, 1]),
+            },
+            1: {
+                "entry": np.array([5, 6]),
+                "duration": np.array([7, 8]),
+                "location": np.array([2, 3]),
+            },
+        }
+        batch = encode_candidates(spec, {}, grids, day_of_week=6, n=2)
+        np.testing.assert_allclose(batch.sum(axis=-1), np.full((2, 2), 4.0))
+
+
+class TestRankLocations:
+    def test_ranks_by_best_score(self):
+        locations = np.array([0, 0, 1, 1, 2])
+        scores = np.array([0.1, 0.3, 0.9, 0.2, 0.5])
+        prior = np.array([0.3, 0.3, 0.4])
+        ranked, ranked_scores = rank_locations(locations, scores, prior)
+        np.testing.assert_array_equal(ranked, [1, 2, 0])
+        np.testing.assert_allclose(ranked_scores, [0.9, 0.5, 0.3])
+
+    def test_default_ties_broken_by_id(self):
+        """Paper-faithful behavior: saturated (defended) scores tie and
+        resolve in enumeration order, which is what blunts the attack."""
+        locations = np.array([0, 1, 2])
+        scores = np.array([1.0, 1.0, 1.0])  # saturated (defended model)
+        prior = np.array([0.1, 0.6, 0.3])
+        ranked, _ = rank_locations(locations, scores, prior)
+        np.testing.assert_array_equal(ranked, [0, 1, 2])
+
+    def test_prior_tie_break_evades_saturation(self):
+        """The stronger adversary variant falls back on the prior."""
+        locations = np.array([0, 1, 2])
+        scores = np.array([1.0, 1.0, 1.0])
+        prior = np.array([0.1, 0.6, 0.3])
+        ranked, _ = rank_locations(locations, scores, prior, tie_break="prior")
+        np.testing.assert_array_equal(ranked, [1, 2, 0])
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            rank_locations(np.array([0]), np.array([1.0]), np.array([1.0]), tie_break="x")
+
+    def test_full_ties_deterministic_by_id(self):
+        locations = np.array([3, 1, 2])
+        scores = np.ones(3)
+        prior = np.full(5, 0.2)
+        ranked, _ = rank_locations(locations, scores, prior)
+        np.testing.assert_array_equal(ranked, [1, 2, 3])
+
+    def test_only_candidate_locations_returned(self):
+        locations = np.array([4, 4, 7])
+        scores = np.array([0.5, 0.6, 0.1])
+        prior = np.full(10, 0.1)
+        ranked, _ = rank_locations(locations, scores, prior)
+        assert set(ranked) == {4, 7}

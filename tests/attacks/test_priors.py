@@ -1,0 +1,93 @@
+"""Unit tests for prior-knowledge generation methods."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    PriorMethod,
+    build_prior,
+    estimated_prior,
+    predicted_prior,
+    prune_locations,
+    true_prior,
+    uniform_prior,
+)
+from repro.data import SpatialLevel
+from repro.models import NextLocationPredictor
+
+
+@pytest.fixture(scope="module")
+def user_setup(tiny_corpus, tiny_general):
+    general, _, _ = tiny_general
+    spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+    uid = tiny_corpus.personal_ids[0]
+    train, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+    predictor = NextLocationPredictor(general, spec)
+    return spec, train, test, predictor
+
+
+class TestPriors:
+    def test_all_methods_return_distributions(self, user_setup):
+        spec, train, test, predictor = user_setup
+        for method in PriorMethod:
+            prior = build_prior(
+                method,
+                spec.num_locations,
+                train_dataset=train,
+                predictor=predictor,
+                probe_windows=test,
+            )
+            assert prior.shape == (spec.num_locations,)
+            np.testing.assert_allclose(prior.sum(), 1.0, atol=1e-9)
+            assert np.all(prior >= 0)
+
+    def test_uniform_prior(self):
+        prior = uniform_prior(8)
+        np.testing.assert_allclose(prior, np.full(8, 1 / 8))
+
+    def test_true_prior_tracks_frequencies(self, user_setup):
+        spec, train, _, _ = user_setup
+        prior = true_prior(train, smoothing=0.0)
+        visited = {f.location for w in train.windows for f in w.history}
+        top_location = int(np.argmax(prior))
+        assert top_location in visited
+
+    def test_estimated_prior_structure(self):
+        prior = estimated_prior(most_probable=2, num_locations=5)
+        assert prior[2] == 0.75
+        others = np.delete(prior, 2)
+        np.testing.assert_allclose(others, np.full(4, 0.25 / 4))
+
+    def test_predicted_prior_uses_probes(self, user_setup):
+        spec, _, test, predictor = user_setup
+        prior = predicted_prior(predictor, test, max_probes=10)
+        assert prior.max() > 1.0 / spec.num_locations  # informative
+
+    def test_true_requires_train_dataset(self):
+        with pytest.raises(ValueError):
+            build_prior(PriorMethod.TRUE, 5)
+
+    def test_predict_requires_predictor(self):
+        with pytest.raises(ValueError):
+            build_prior(PriorMethod.PREDICT, 5)
+
+
+class TestPruning:
+    def test_prune_reduces_domain(self, user_setup):
+        spec, _, test, predictor = user_setup
+        pruned = prune_locations(predictor, test, threshold=0.01)
+        assert 0 < len(pruned) <= spec.num_locations
+
+    def test_high_threshold_keeps_fewer(self, user_setup):
+        spec, _, test, predictor = user_setup
+        loose = prune_locations(predictor, test, threshold=0.001)
+        tight = prune_locations(predictor, test, threshold=0.5)
+        assert len(tight) <= len(loose)
+
+    def test_empty_probes_fall_back_to_full_domain(self, user_setup):
+        from repro.data import SequenceDataset
+
+        spec, _, _, predictor = user_setup
+        empty = SequenceDataset(spec=spec)
+        pruned = prune_locations(predictor, empty)
+        assert len(pruned) == spec.num_locations

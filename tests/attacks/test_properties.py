@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for attack machinery invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import rank_locations
+from repro.attacks.base import encode_candidates
+from repro.data import FeatureSpec, SessionFeatures
+
+
+@st.composite
+def candidate_grids(draw):
+    """Random candidate grids plus a spec that admits them."""
+    num_locations = draw(st.integers(3, 12))
+    spec = FeatureSpec(num_locations=num_locations)
+    n = draw(st.integers(1, 8))
+    entries = draw(
+        st.lists(st.integers(0, spec.entry_bins - 1), min_size=n, max_size=n)
+    )
+    durations = draw(
+        st.lists(st.integers(0, spec.duration_bins - 1), min_size=n, max_size=n)
+    )
+    locations = draw(st.lists(st.integers(0, num_locations - 1), min_size=n, max_size=n))
+    day = draw(st.integers(0, 6))
+    return spec, n, np.array(entries), np.array(durations), np.array(locations), day
+
+
+@settings(max_examples=40, deadline=None)
+@given(candidate_grids())
+def test_encode_candidates_decode_roundtrip(setup):
+    """Every encoded candidate row decodes back to its grid values."""
+    spec, n, entries, durations, locations, day = setup
+    batch = encode_candidates(
+        spec,
+        {0: SessionFeatures(1, 1, 0, day)},
+        {1: {"entry": entries, "duration": durations, "location": locations}},
+        day,
+        n,
+    )
+    for row in range(n):
+        decoded = spec.decode(batch[row, 1])
+        assert decoded.entry_bin == entries[row]
+        assert decoded.duration_bin == durations[row]
+        assert decoded.location == locations[row]
+        assert decoded.day_of_week == day
+
+
+@settings(max_examples=40, deadline=None)
+@given(candidate_grids())
+def test_encode_candidates_rows_are_valid_one_hots(setup):
+    spec, n, entries, durations, locations, day = setup
+    batch = encode_candidates(
+        spec,
+        {},
+        {
+            0: {"entry": entries, "duration": durations, "location": locations},
+            1: {"entry": entries, "duration": durations, "location": locations},
+        },
+        day,
+        n,
+    )
+    np.testing.assert_allclose(batch.sum(axis=-1), np.full((n, 2), 4.0))
+    assert set(np.unique(batch)) <= {0.0, 1.0}
+
+
+@st.composite
+def scored_candidates(draw):
+    num_locations = draw(st.integers(3, 10))
+    n = draw(st.integers(1, 30))
+    locations = draw(
+        st.lists(st.integers(0, num_locations - 1), min_size=n, max_size=n)
+    )
+    scores = draw(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    prior_raw = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=num_locations, max_size=num_locations)
+    )
+    prior = np.array(prior_raw)
+    return np.array(locations), np.array(scores), prior / prior.sum()
+
+
+@settings(max_examples=50, deadline=None)
+@given(scored_candidates())
+def test_rank_locations_is_permutation_of_candidates(setup):
+    locations, scores, prior = setup
+    ranked, ranked_scores = rank_locations(locations, scores, prior)
+    assert sorted(ranked.tolist()) == sorted(set(locations.tolist()))
+    # Scores are non-increasing down the ranking.
+    assert all(ranked_scores[i] >= ranked_scores[i + 1] - 1e-12 for i in range(len(ranked) - 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(scored_candidates())
+def test_rank_locations_invariant_to_candidate_order(setup):
+    locations, scores, prior = setup
+    ranked_a, _ = rank_locations(locations, scores, prior)
+    permutation = np.random.default_rng(0).permutation(len(locations))
+    ranked_b, _ = rank_locations(locations[permutation], scores[permutation], prior)
+    np.testing.assert_array_equal(ranked_a, ranked_b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scored_candidates())
+def test_rank_locations_top_is_argmax_score(setup):
+    locations, scores, prior = setup
+    ranked, ranked_scores = rank_locations(locations, scores, prior)
+    assert ranked_scores[0] == scores.max()

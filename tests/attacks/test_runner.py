@@ -1,0 +1,84 @@
+"""Unit tests for attack orchestration and accuracy aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AdversaryClass, AttackEvaluation, AttackOutput, Reconstruction
+from repro.attacks.adversary import AttackInstance, T_MINUS_1
+from repro.attacks.runner import UserAttackResult
+from repro.data import SessionFeatures
+
+
+def make_output(true_location, ranked, queries=10, seconds=0.5):
+    features = SessionFeatures(0, 0, true_location, 0)
+    instance = AttackInstance(
+        adversary=AdversaryClass.A1,
+        known={0: SessionFeatures(0, 0, 0, 0)},
+        missing=(T_MINUS_1,),
+        observed_output=0,
+        day_of_week=0,
+        truth={T_MINUS_1: features},
+    )
+    recon = Reconstruction(
+        step=T_MINUS_1,
+        ranked_locations=np.array(ranked),
+        scores=np.linspace(1, 0, len(ranked)),
+    )
+    return AttackOutput(
+        instance=instance,
+        reconstructions={T_MINUS_1: recon},
+        num_queries=queries,
+        elapsed_seconds=seconds,
+    )
+
+
+class TestReconstruction:
+    def test_hit_semantics(self):
+        recon = Reconstruction(0, np.array([4, 2, 7]), np.array([3.0, 2.0, 1.0]))
+        assert recon.hit(4, 1)
+        assert not recon.hit(2, 1)
+        assert recon.hit(2, 2)
+        assert not recon.hit(9, 3)
+
+
+class TestUserResult:
+    def test_accuracy_over_outputs(self):
+        result = UserAttackResult(user_id=1)
+        result.outputs.append(make_output(true_location=3, ranked=[3, 1, 2]))  # top-1 hit
+        result.outputs.append(make_output(true_location=5, ranked=[1, 5, 2]))  # top-2 hit
+        assert result.accuracy(1) == 0.5
+        assert result.accuracy(2) == 1.0
+
+    def test_totals(self):
+        result = UserAttackResult(user_id=1)
+        result.outputs.append(make_output(3, [3], queries=7, seconds=1.0))
+        result.outputs.append(make_output(3, [3], queries=5, seconds=2.0))
+        assert result.total_queries == 12
+        assert result.total_seconds == 3.0
+
+    def test_empty_accuracy_is_nan(self):
+        assert np.isnan(UserAttackResult(user_id=1).accuracy(1))
+
+
+class TestEvaluation:
+    def test_pools_across_users(self):
+        evaluation = AttackEvaluation(attack_name="x", adversary=AdversaryClass.A1)
+        u1 = UserAttackResult(user_id=1)
+        u1.outputs.append(make_output(3, [3, 1]))
+        u2 = UserAttackResult(user_id=2)
+        u2.outputs.append(make_output(5, [1, 2]))
+        evaluation.per_user = {1: u1, 2: u2}
+        assert evaluation.accuracy(1) == 0.5
+        assert evaluation.accuracy_series([1, 2]) == {1: 0.5, 2: 0.5}
+        assert evaluation.per_user_accuracy(1) == {1: 1.0, 2: 0.0}
+        assert evaluation.total_queries == 20
+
+    def test_monotone_in_k(self):
+        evaluation = AttackEvaluation(attack_name="x", adversary=AdversaryClass.A1)
+        user = UserAttackResult(user_id=1)
+        for true_loc in (0, 1, 2, 3):
+            user.outputs.append(make_output(true_loc, [0, 1, 2, 3]))
+        evaluation.per_user = {1: user}
+        accs = [evaluation.accuracy(k) for k in (1, 2, 3, 4)]
+        assert accs == sorted(accs)
+        assert accs[-1] == 1.0

@@ -1,0 +1,48 @@
+"""Shared fixtures: deterministic RNGs and session-scoped tiny artifacts.
+
+Expensive artifacts (corpus, trained general model, pipeline) are built
+once per session at the ``tiny`` scale so individual tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.eval import ExperimentScale, Pipeline
+from repro.models import GeneralModelConfig, train_general_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small deterministic corpus shared across the session."""
+    return generate_corpus(
+        CorpusConfig(
+            num_buildings=15, num_contributors=5, num_personal_users=2, num_days=21, seed=11
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline() -> Pipeline:
+    """A tiny evaluation pipeline (memoizes models across tests)."""
+    return Pipeline(ExperimentScale.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_general(tiny_corpus):
+    """A trained general model + datasets at building level."""
+    pooled = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING)
+    train, test = pooled.split_by_user(0.8)
+    model, _ = train_general_model(
+        train,
+        GeneralModelConfig(hidden_size=24, epochs=6, patience=3),
+        np.random.default_rng(0),
+    )
+    return model, train, test

@@ -1,0 +1,62 @@
+"""Unit tests for campus topology generation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data import BuildingKind, CampusTopology
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return CampusTopology.generate(np.random.default_rng(0), num_buildings=30)
+
+
+class TestGeneration:
+    def test_building_count(self, campus):
+        assert campus.num_buildings == 30
+        assert len(campus.buildings) == 30
+
+    def test_every_kind_present(self, campus):
+        kinds = {b.kind for b in campus.buildings}
+        assert kinds == set(BuildingKind)
+
+    def test_building_ids_are_list_positions(self, campus):
+        for i, building in enumerate(campus.buildings):
+            assert building.building_id == i
+
+    def test_ap_mapping_consistent(self, campus):
+        for building in campus.buildings:
+            assert building.num_aps >= 2
+            for ap in building.ap_ids:
+                assert campus.ap_to_building[ap] == building.building_id
+
+    def test_ap_ids_globally_unique_and_dense(self, campus):
+        all_aps = [ap for b in campus.buildings for ap in b.ap_ids]
+        assert len(all_aps) == len(set(all_aps)) == campus.num_aps
+        assert sorted(all_aps) == list(range(campus.num_aps))
+
+    def test_graph_connected(self, campus):
+        assert nx.is_connected(campus.graph)
+        assert campus.graph.number_of_nodes() == campus.num_buildings
+
+    def test_walking_minutes(self, campus):
+        assert campus.walking_minutes(0, 0) == 0.0
+        assert campus.walking_minutes(0, 1) > 0.0
+        # Symmetric (undirected graph).
+        assert campus.walking_minutes(0, 5) == campus.walking_minutes(5, 0)
+
+    def test_buildings_of_kind_filter(self, campus):
+        dorms = campus.buildings_of_kind(BuildingKind.DORM)
+        assert dorms
+        assert all(b.kind == BuildingKind.DORM for b in dorms)
+
+    def test_deterministic_given_seed(self):
+        a = CampusTopology.generate(np.random.default_rng(42), num_buildings=12)
+        b = CampusTopology.generate(np.random.default_rng(42), num_buildings=12)
+        assert [x.kind for x in a.buildings] == [x.kind for x in b.buildings]
+        assert a.num_aps == b.num_aps
+
+    def test_too_few_buildings_rejected(self):
+        with pytest.raises(ValueError):
+            CampusTopology.generate(np.random.default_rng(0), num_buildings=3)

@@ -1,0 +1,67 @@
+"""Unit tests for end-to-end corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+
+
+class TestCorpus:
+    def test_population_partition(self, tiny_corpus):
+        contributors = set(tiny_corpus.contributor_ids)
+        personal = set(tiny_corpus.personal_ids)
+        assert contributors.isdisjoint(personal)
+        assert len(contributors) == tiny_corpus.config.num_contributors
+        assert len(personal) == tiny_corpus.config.num_personal_users
+
+    def test_spec_domains(self, tiny_corpus):
+        b_spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        a_spec = tiny_corpus.spec(SpatialLevel.AP)
+        assert b_spec.num_locations == tiny_corpus.campus.num_buildings
+        assert a_spec.num_locations == tiny_corpus.campus.num_aps
+        assert a_spec.num_locations > b_spec.num_locations
+
+    def test_trajectory_cached(self, tiny_corpus):
+        first = tiny_corpus.trajectory(0, SpatialLevel.BUILDING)
+        second = tiny_corpus.trajectory(0, SpatialLevel.BUILDING)
+        assert first is second
+
+    def test_user_dataset_windows_belong_to_user(self, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+        assert len(ds) > 0
+        assert all(w.user_id == uid for w in ds.windows)
+
+    def test_contributor_dataset_pools_all(self, tiny_corpus):
+        pooled = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING)
+        users = {w.user_id for w in pooled.windows}
+        assert users == set(tiny_corpus.contributor_ids)
+
+    def test_personal_datasets_keyed_by_user(self, tiny_corpus):
+        per_user = tiny_corpus.personal_datasets(SpatialLevel.BUILDING)
+        assert set(per_user) == set(tiny_corpus.personal_ids)
+
+    def test_deterministic_given_seed(self):
+        config = CorpusConfig(
+            num_buildings=12, num_contributors=2, num_personal_users=1, num_days=7, seed=77
+        )
+        a = generate_corpus(config)
+        b = generate_corpus(config)
+        Xa, ya = a.user_dataset(0, SpatialLevel.BUILDING).encode()
+        Xb, yb = b.user_dataset(0, SpatialLevel.BUILDING).encode()
+        np.testing.assert_array_equal(Xa, Xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_scaled_returns_modified_copy(self):
+        config = CorpusConfig()
+        scaled = config.scaled(num_buildings=99)
+        assert scaled.num_buildings == 99
+        assert config.num_buildings != 99
+        assert scaled.num_days == config.num_days
+
+    def test_locations_within_domain(self, tiny_corpus):
+        for level in SpatialLevel:
+            spec = tiny_corpus.spec(level)
+            for uid in tiny_corpus.personal_ids:
+                for sess in tiny_corpus.trajectory(uid, level):
+                    assert 0 <= sess.location_id < spec.num_locations

@@ -1,0 +1,115 @@
+"""Unit tests for trace filtering (paper §IV-A) and corpus IO."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BuildingKind,
+    CampusTopology,
+    RoutineMobilityModel,
+    Visit,
+    export_trajectory_csv,
+    extract_trajectory,
+    filter_on_campus_students,
+    filter_sparse_users,
+    load_ap_sessions,
+    observed_days,
+    save_ap_sessions,
+    stays_in_dorm_at_night,
+    visits_to_ap_sessions,
+)
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return CampusTopology.generate(np.random.default_rng(0), num_buildings=20)
+
+
+def full_day(uid, day, building, weekday=None):
+    return Visit(
+        user_id=uid,
+        day_index=day,
+        day_of_week=day % 7 if weekday is None else weekday,
+        entry_minute=0,
+        duration_minute=MINUTES_PER_DAY,
+        building_id=building,
+    )
+
+
+class TestDormNightFilter:
+    def test_simulated_students_pass(self, campus):
+        """The routine simulator produces dorm-sleeping students."""
+        model = RoutineMobilityModel(campus, np.random.default_rng(1))
+        profile = model.make_profile(0)
+        visits = model.simulate(profile, num_days=14)
+        assert stays_in_dorm_at_night(visits, campus)
+
+    def test_commuter_filtered_out(self, campus):
+        academic = campus.buildings_of_kind(BuildingKind.ACADEMIC)[0].building_id
+        visits = [full_day(1, d, academic, weekday=d % 7) for d in range(10)]
+        assert not stays_in_dorm_at_night(visits, campus)
+
+    def test_weekends_ignored(self, campus):
+        dorm = campus.buildings_of_kind(BuildingKind.DORM)[0].building_id
+        # Only weekend days observed -> no weekday nights -> reject.
+        visits = [full_day(1, d, dorm, weekday=5 + d % 2) for d in range(4)]
+        assert not stays_in_dorm_at_night(visits, campus)
+
+    def test_population_filter(self, campus):
+        dorm = campus.buildings_of_kind(BuildingKind.DORM)[0].building_id
+        academic = campus.buildings_of_kind(BuildingKind.ACADEMIC)[0].building_id
+        traces = {
+            1: [full_day(1, d, dorm, weekday=d % 7) for d in range(7)],
+            2: [full_day(2, d, academic, weekday=d % 7) for d in range(7)],
+        }
+        kept = filter_on_campus_students(traces, campus)
+        assert set(kept) == {1}
+
+
+class TestSparseFilter:
+    def test_threshold(self, campus):
+        dorm = campus.buildings_of_kind(BuildingKind.DORM)[0].building_id
+        traces = {
+            1: [full_day(1, d, dorm) for d in range(5)],
+            2: [full_day(2, 0, dorm)],
+        }
+        kept = filter_sparse_users(traces, min_visits=3)
+        assert set(kept) == {1}
+
+    def test_observed_days(self, campus):
+        dorm = campus.buildings_of_kind(BuildingKind.DORM)[0].building_id
+        visits = [full_day(1, d, dorm) for d in (0, 0, 2, 5)]
+        assert observed_days(visits) == 3
+
+
+class TestCorpusIO:
+    def test_ap_sessions_roundtrip(self, campus, tmp_path):
+        model = RoutineMobilityModel(campus, np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        sessions = {}
+        for uid in range(3):
+            visits = model.simulate(model.make_profile(uid), num_days=3)
+            sessions[uid] = visits_to_ap_sessions(visits, campus, rng)
+        path = tmp_path / "corpus" / "sessions.npz"
+        size = save_ap_sessions(sessions, path)
+        assert size > 0
+        restored = load_ap_sessions(path)
+        assert set(restored) == set(sessions)
+        for uid in sessions:
+            assert restored[uid] == sorted(
+                sessions[uid], key=lambda s: (s.day_index, s.entry_minute)
+            )
+
+    def test_csv_export(self, campus, tmp_path):
+        model = RoutineMobilityModel(campus, np.random.default_rng(4))
+        visits = model.simulate(model.make_profile(0), num_days=2)
+        trajectory = extract_trajectory(
+            visits_to_ap_sessions(visits, campus, np.random.default_rng(5)), "building"
+        )
+        path = tmp_path / "traj.csv"
+        rows = export_trajectory_csv(trajectory, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == rows + 1  # header
+        assert lines[0].startswith("user_id,")

@@ -1,0 +1,114 @@
+"""Unit tests for the routine mobility simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import CampusTopology, RoutineMobilityModel, simulate_population
+from repro.data.mobility import MINUTES_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return CampusTopology.generate(np.random.default_rng(1), num_buildings=25)
+
+
+@pytest.fixture(scope="module")
+def model(campus):
+    return RoutineMobilityModel(campus, np.random.default_rng(2))
+
+
+class TestProfiles:
+    def test_profile_fields_valid(self, model, campus):
+        profile = model.make_profile(0)
+        assert 0 <= profile.home_dorm < campus.num_buildings
+        assert profile.dining_halls
+        assert 0 < profile.routine_strength <= 1
+        assert 0 <= profile.sociability <= 1
+        assert set(profile.class_slots) == {0, 1, 2, 3, 4}
+
+    def test_class_slots_sorted_and_non_overlapping_starts(self, model):
+        profile = model.make_profile(1)
+        for slots in profile.class_slots.values():
+            starts = [s for s, _, _ in slots]
+            assert starts == sorted(starts)
+            assert len(starts) == len(set(starts))
+
+    def test_scheduled_buildings_cover_routine(self, model):
+        profile = model.make_profile(2)
+        scheduled = profile.scheduled_buildings()
+        assert profile.home_dorm in scheduled
+        for slots in profile.class_slots.values():
+            for _, _, building in slots:
+                assert building in scheduled
+
+    def test_knobs_overridable(self, model):
+        profile = model.make_profile(3, routine_strength=0.95, sociability=0.2)
+        assert profile.routine_strength == 0.95
+        assert profile.sociability == 0.2
+
+
+class TestTraces:
+    def test_each_day_covers_24_hours_contiguously(self, model):
+        profile = model.make_profile(10)
+        visits = model.simulate(profile, num_days=7)
+        by_day = {}
+        for visit in visits:
+            by_day.setdefault(visit.day_index, []).append(visit)
+        assert set(by_day) == set(range(7))
+        for day_visits in by_day.values():
+            assert day_visits[0].entry_minute == 0
+            for prev, nxt in zip(day_visits, day_visits[1:]):
+                assert prev.exit_minute == nxt.entry_minute
+            assert day_visits[-1].exit_minute == MINUTES_PER_DAY
+
+    def test_no_consecutive_same_building(self, model):
+        profile = model.make_profile(11)
+        visits = model.simulate(profile, num_days=10)
+        by_day = {}
+        for visit in visits:
+            by_day.setdefault(visit.day_index, []).append(visit)
+        for day_visits in by_day.values():
+            for prev, nxt in zip(day_visits, day_visits[1:]):
+                assert prev.building_id != nxt.building_id
+
+    def test_day_of_week_cycles(self, model):
+        profile = model.make_profile(12)
+        visits = model.simulate(profile, num_days=14, start_weekday=3)
+        for visit in visits:
+            assert visit.day_of_week == (3 + visit.day_index) % 7
+
+    def test_routine_user_more_predictable_than_chaotic(self, campus):
+        """High routine strength should concentrate weekday visits on the
+        scheduled buildings more than low routine strength."""
+        rng = np.random.default_rng(5)
+        model = RoutineMobilityModel(campus, rng)
+
+        def schedule_adherence(strength):
+            profile = model.make_profile(99, routine_strength=strength, sociability=0.3)
+            scheduled = set(profile.scheduled_buildings())
+            visits = model.simulate(profile, num_days=28)
+            weekday = [v for v in visits if v.day_of_week < 5]
+            return np.mean([v.building_id in scheduled for v in weekday])
+
+        assert schedule_adherence(0.97) > schedule_adherence(0.55)
+
+    def test_home_dorm_dominates_time(self, model):
+        profile = model.make_profile(13)
+        visits = model.simulate(profile, num_days=14)
+        time_by_building = {}
+        for v in visits:
+            time_by_building[v.building_id] = (
+                time_by_building.get(v.building_id, 0) + v.duration_minute
+            )
+        assert max(time_by_building, key=time_by_building.get) == profile.home_dorm
+
+
+class TestPopulation:
+    def test_simulate_population_shapes(self, campus):
+        profiles, traces = simulate_population(
+            campus, np.random.default_rng(9), num_users=4, num_days=5
+        )
+        assert len(profiles) == 4
+        assert set(traces) == {0, 1, 2, 3}
+        for uid, visits in traces.items():
+            assert all(v.user_id == uid for v in visits)

@@ -1,0 +1,64 @@
+"""Property-based tests for the mobility simulator's structural invariants.
+
+These invariants are load-bearing: the time-based inversion attack derives
+entry times from the continuity property, and the feature pipeline assumes
+every visit fits inside its day.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CampusTopology, RoutineMobilityModel
+from repro.data.mobility import MINUTES_PER_DAY
+
+
+@st.composite
+def simulated_user(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_buildings = draw(st.integers(8, 30))
+    num_days = draw(st.integers(1, 12))
+    campus = CampusTopology.generate(np.random.default_rng(seed), num_buildings=num_buildings)
+    model = RoutineMobilityModel(campus, np.random.default_rng(seed + 1))
+    profile = model.make_profile(0)
+    return campus, model.simulate(profile, num_days=num_days), num_days
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulated_user())
+def test_days_are_contiguous_chains(setup):
+    """Within every day: first visit at minute 0, no gaps, ends at 24:00.
+    This is the continuity property the time-based attack exploits."""
+    campus, visits, num_days = setup
+    by_day = {}
+    for visit in visits:
+        by_day.setdefault(visit.day_index, []).append(visit)
+    assert set(by_day) == set(range(num_days))
+    for day_visits in by_day.values():
+        assert day_visits[0].entry_minute == 0
+        for prev, nxt in zip(day_visits, day_visits[1:]):
+            assert prev.exit_minute == nxt.entry_minute
+        assert day_visits[-1].exit_minute == MINUTES_PER_DAY
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulated_user())
+def test_visits_reference_real_buildings(setup):
+    campus, visits, _ = setup
+    for visit in visits:
+        assert 0 <= visit.building_id < campus.num_buildings
+        assert visit.duration_minute > 0
+        assert 0 <= visit.day_of_week < 7
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulated_user())
+def test_no_zero_length_or_same_building_runs(setup):
+    campus, visits, _ = setup
+    by_day = {}
+    for visit in visits:
+        by_day.setdefault(visit.day_index, []).append(visit)
+    for day_visits in by_day.values():
+        for prev, nxt in zip(day_visits, day_visits[1:]):
+            assert prev.building_id != nxt.building_id

@@ -1,0 +1,88 @@
+"""Unit tests for AP session expansion and trajectory extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CampusTopology,
+    RoutineMobilityModel,
+    extract_trajectory,
+    visits_to_ap_sessions,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    campus = CampusTopology.generate(np.random.default_rng(3), num_buildings=20)
+    model = RoutineMobilityModel(campus, np.random.default_rng(4))
+    profile = model.make_profile(0)
+    visits = model.simulate(profile, num_days=7)
+    rng = np.random.default_rng(5)
+    ap_sessions = visits_to_ap_sessions(visits, campus, rng)
+    return campus, visits, ap_sessions
+
+
+class TestAPExpansion:
+    def test_total_duration_preserved(self, setup):
+        _, visits, ap_sessions = setup
+        assert sum(v.duration_minute for v in visits) == sum(
+            s.duration_minute for s in ap_sessions
+        )
+
+    def test_sessions_contiguous_within_visit(self, setup):
+        campus, visits, ap_sessions = setup
+        cursor = {}
+        for session in ap_sessions:
+            key = session.day_index
+            if key in cursor:
+                assert session.entry_minute == cursor[key]
+            cursor[key] = session.exit_minute
+
+    def test_ap_belongs_to_visit_building(self, setup):
+        campus, _, ap_sessions = setup
+        for session in ap_sessions:
+            assert campus.ap_to_building[session.ap_id] == session.building_id
+
+    def test_durations_positive(self, setup):
+        _, _, ap_sessions = setup
+        assert all(s.duration_minute > 0 for s in ap_sessions)
+
+
+class TestTrajectoryExtraction:
+    def test_building_level_recovers_visits(self, setup):
+        """Merging AP sessions at building level must reproduce the original
+        building visit chain exactly (same order, same durations)."""
+        _, visits, ap_sessions = setup
+        trajectory = extract_trajectory(ap_sessions, "building")
+        assert len(trajectory) == len(visits)
+        for original, extracted in zip(visits, trajectory):
+            assert extracted.location_id == original.building_id
+            assert extracted.entry_minute == original.entry_minute
+            assert extracted.duration_minute == original.duration_minute
+
+    def test_ap_level_merges_consecutive_same_ap(self, setup):
+        _, _, ap_sessions = setup
+        trajectory = extract_trajectory(ap_sessions, "ap")
+        for prev, nxt in zip(trajectory, trajectory[1:]):
+            same_moment = (
+                prev.day_index == nxt.day_index and prev.exit_minute == nxt.entry_minute
+            )
+            if same_moment:
+                assert prev.location_id != nxt.location_id
+
+    def test_ap_level_finer_than_building(self, setup):
+        _, _, ap_sessions = setup
+        buildings = extract_trajectory(ap_sessions, "building")
+        aps = extract_trajectory(ap_sessions, "ap")
+        assert len(aps) >= len(buildings)
+
+    def test_invalid_level_rejected(self, setup):
+        _, _, ap_sessions = setup
+        with pytest.raises(ValueError):
+            extract_trajectory(ap_sessions, "city")
+
+    def test_chronological_order(self, setup):
+        _, _, ap_sessions = setup
+        trajectory = extract_trajectory(ap_sessions, "building")
+        keys = [(s.day_index, s.entry_minute) for s in trajectory]
+        assert keys == sorted(keys)

@@ -1,0 +1,49 @@
+"""Unit tests for the correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ScatterStudy, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        result = pearson([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.coefficient == pytest.approx(1.0)
+        assert result.p_value < 0.05
+        assert result.is_significant()
+
+    def test_significance_threshold(self):
+        result = pearson([1, 2, 3, 4, 2], [2, 1, 4, 3, 4])
+        assert not result.is_significant(alpha=0.001)
+
+    def test_perfect_negative(self):
+        result = pearson([1, 2, 3, 4], [8, 6, 4, 2])
+        assert result.coefficient == pytest.approx(-1.0)
+
+    def test_nan_pairs_dropped(self):
+        result = pearson([1, 2, np.nan, 4, 5], [2, 4, 6, 8, 10])
+        assert result.n == 4
+        assert result.coefficient == pytest.approx(1.0)
+
+    def test_constant_input_returns_zero(self):
+        result = pearson([1, 1, 1, 1], [1, 2, 3, 4])
+        assert result.coefficient == 0.0
+        assert result.p_value == 1.0
+
+    def test_too_few_points_nan(self):
+        result = pearson([1, 2], [3, 4])
+        assert np.isnan(result.coefficient)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2, 3], [1, 2])
+
+
+class TestScatterStudy:
+    def test_correlation_from_points(self):
+        study = ScatterStudy(
+            covariate_name="visits",
+            points={1: (10.0, 20.0), 2: (20.0, 40.0), 3: (30.0, 60.0), 4: (40.0, 80.0)},
+        )
+        assert study.correlation().coefficient == pytest.approx(1.0)

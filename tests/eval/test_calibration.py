@@ -1,0 +1,53 @@
+"""Unit tests for the calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import expected_calibration_error
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        # Two classes; confidence p drawn uniformly; outcome correct with prob p.
+        p = rng.uniform(0.5, 1.0, size=n)
+        confidences = np.stack([p, 1 - p], axis=1)
+        correct = rng.random(n) < p
+        targets = np.where(correct, 0, 1)
+        report = expected_calibration_error(confidences, targets, num_bins=10)
+        assert report.ece < 0.05
+
+    def test_overconfident_model_high_ece(self):
+        n = 500
+        confidences = np.tile([0.99, 0.01], (n, 1))
+        targets = np.array([0] * (n // 2) + [1] * (n - n // 2))  # 50% accurate
+        report = expected_calibration_error(confidences, targets)
+        assert report.ece > 0.4
+
+    def test_saturated_privacy_layer_is_maximally_miscalibrated(self):
+        """The Pelican privacy layer's signature: confidence 1.0 with
+        accuracy < 1 shows up as ECE = 1 - accuracy."""
+        confidences = np.zeros((100, 5))
+        confidences[:, 0] = 1.0
+        targets = np.zeros(100, dtype=int)
+        targets[70:] = 1  # 70% accurate
+        report = expected_calibration_error(confidences, targets)
+        assert report.ece == pytest.approx(0.3)
+
+    def test_bins_partition_samples(self):
+        rng = np.random.default_rng(1)
+        confidences = rng.dirichlet(np.ones(4), size=200)
+        targets = rng.integers(0, 4, size=200)
+        report = expected_calibration_error(confidences, targets, num_bins=8)
+        assert report.bin_counts.sum() == 200
+
+    def test_empty_input(self):
+        report = expected_calibration_error(np.zeros((0, 3)), np.zeros(0))
+        assert np.isnan(report.ece)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.zeros((5, 2)), np.zeros(4))

@@ -1,0 +1,93 @@
+"""Structural tests for the experiment runners at tiny scale.
+
+These assert result *shapes* and invariants, not the paper's numbers (the
+benchmarks regenerate the numbers at a meaningful scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    run_adversary_comparison,
+    run_attack_methods,
+    run_defense_on_personalization,
+    run_mobility_degree_study,
+    run_personalization_comparison,
+    run_prior_comparison,
+    run_training_size_sweep,
+)
+from repro.data import SpatialLevel
+
+
+class TestAttackMethods:
+    @pytest.fixture(scope="class")
+    def results(self, tiny_pipeline):
+        return run_attack_methods(tiny_pipeline, ks=(1, 3))
+
+    def test_all_three_methods_present(self, results):
+        assert set(results) == {"brute force", "gradient descent", "time-based"}
+
+    def test_accuracy_in_percent_range(self, results):
+        for result in results.values():
+            for accuracy in result.accuracy.values():
+                assert 0.0 <= accuracy <= 100.0
+
+    def test_accuracy_monotone_in_k(self, results):
+        for result in results.values():
+            assert result.accuracy[3] >= result.accuracy[1]
+
+    def test_time_based_queries_fewer_than_brute(self, results):
+        assert results["time-based"].queries < results["brute force"].queries
+
+    def test_runtimes_positive(self, results):
+        for result in results.values():
+            assert result.runtime_seconds > 0
+
+
+class TestAdversaries:
+    def test_all_adversaries_reported(self, tiny_pipeline):
+        results = run_adversary_comparison(tiny_pipeline, ks=(1, 3))
+        assert set(results) == {"A1", "A2", "A3"}
+        for series in results.values():
+            assert series[3] >= series[1]
+
+
+class TestPriors:
+    def test_all_prior_modes_reported(self, tiny_pipeline):
+        results = run_prior_comparison(tiny_pipeline, ks=(1, 3))
+        assert set(results) == {"true", "none", "predict", "estimate"}
+
+
+class TestPersonalizationTable:
+    def test_rows_and_levels(self, tiny_pipeline):
+        results = run_personalization_comparison(
+            tiny_pipeline, levels=[SpatialLevel.BUILDING]
+        )
+        rows = results["building"]
+        assert [r.method for r in rows] == ["reuse", "lstm", "tl_fe", "tl_ft"]
+        for row in rows:
+            assert 0 <= row.test_top1 <= row.test_top2 <= row.test_top3 <= 100.0
+
+
+class TestTrainingSweep:
+    def test_weeks_and_methods(self, tiny_pipeline):
+        results = run_training_size_sweep(tiny_pipeline, weeks=(1, 2))
+        assert set(results) == {1, 2}
+        for rows in results.values():
+            assert {r.method for r in rows} == {"lstm", "tl_fe", "tl_ft"}
+
+
+class TestDefense:
+    def test_reduction_bounded(self, tiny_pipeline):
+        results = run_defense_on_personalization(tiny_pipeline, ks=(1, 3))
+        for series in results.values():
+            for reduction in series.values():
+                assert 0.0 <= reduction <= 100.0
+
+
+class TestMobilityStudy:
+    def test_points_per_user(self, tiny_pipeline):
+        studies = run_mobility_degree_study(tiny_pipeline)
+        assert set(studies) == {"building", "ap"}
+        for study in studies.values():
+            assert len(study.points) == len(tiny_pipeline.attack_users())

@@ -1,0 +1,62 @@
+"""Structural tests for the overhead and defense-sweep runners."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    run_defense_on_spatial_levels,
+    run_overhead_comparison,
+    run_spatial_comparison,
+    run_temperature_sweep,
+)
+
+
+class TestOverheadRunner:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_pipeline):
+        return run_overhead_comparison(tiny_pipeline, grid_search_folds=2, grid_sizes=(0,))
+
+    def test_cloud_dominates_device(self, result):
+        for method in ("tl_fe", "tl_ft"):
+            assert result.ratio(method) > 1.0
+
+    def test_reports_populated(self, result):
+        assert result.cloud.macs > 0
+        assert result.cloud.wall_seconds > 0
+        for report in result.device_per_method.values():
+            assert report.macs > 0
+            assert report.estimated_billion_cycles > 0
+
+    def test_ratio_infinite_on_zero_device(self, result):
+        from repro.eval.experiments import OverheadResult
+        from repro.pelican.cloud import ResourceReport
+
+        fake = OverheadResult(
+            cloud=result.cloud,
+            device_per_method={"x": ResourceReport(macs=0, estimated_billion_cycles=0, wall_seconds=0)},
+        )
+        assert fake.ratio("x") == float("inf")
+
+
+class TestTemperatureSweepRunner:
+    def test_sweep_structure(self, tiny_pipeline):
+        results = run_temperature_sweep(
+            tiny_pipeline, temperatures=(1e-1, 1e-3), ks=(1, 3)
+        )
+        assert set(results) == {1e-1, 1e-3}
+        for value in results.values():
+            assert 0.0 <= value <= 100.0
+
+
+class TestSpatialRunners:
+    def test_defense_on_spatial_levels_structure(self, tiny_pipeline):
+        results = run_defense_on_spatial_levels(tiny_pipeline, ks=(1, 3))
+        assert set(results) == {"building", "ap"}
+        for series in results.values():
+            assert set(series) == {1, 3}
+
+    def test_spatial_comparison_structure(self, tiny_pipeline):
+        results = run_spatial_comparison(tiny_pipeline, ks=(1, 3))
+        assert set(results) == {"building", "ap"}
+        for series in results.values():
+            assert series[3] >= series[1]

@@ -1,0 +1,77 @@
+"""Unit tests for the memoizing evaluation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.eval import ExperimentScale, Pipeline
+from repro.models import PersonalizationMethod
+
+
+class TestScales:
+    def test_tiers_exist_and_order(self):
+        tiny = ExperimentScale.tiny()
+        small = ExperimentScale.small()
+        paper = ExperimentScale.paper()
+        assert tiny.corpus.num_contributors < small.corpus.num_contributors
+        assert small.corpus.num_contributors < paper.corpus.num_contributors
+        assert paper.corpus.num_buildings == 150
+
+    def test_with_corpus_override(self):
+        scale = ExperimentScale.tiny().with_corpus(num_days=99)
+        assert scale.corpus.num_days == 99
+        assert scale.general == ExperimentScale.tiny().general
+
+
+class TestPipelineCaching:
+    def test_corpus_cached(self, tiny_pipeline):
+        assert tiny_pipeline.corpus is tiny_pipeline.corpus
+
+    def test_general_model_cached(self, tiny_pipeline):
+        a = tiny_pipeline.general(SpatialLevel.BUILDING)
+        b = tiny_pipeline.general(SpatialLevel.BUILDING)
+        assert a[0] is b[0]
+
+    def test_personal_cached_by_key(self, tiny_pipeline):
+        uid = tiny_pipeline.attack_users()[0]
+        a = tiny_pipeline.personal(uid, SpatialLevel.BUILDING)
+        b = tiny_pipeline.personal(uid, SpatialLevel.BUILDING)
+        assert a is b
+        c = tiny_pipeline.personal(uid, SpatialLevel.BUILDING, PersonalizationMethod.TL_FT)
+        assert c is not a
+
+    def test_attack_users_limited(self, tiny_pipeline):
+        users = tiny_pipeline.attack_users()
+        assert len(users) <= tiny_pipeline.scale.max_attack_users
+        assert set(users) <= set(tiny_pipeline.corpus.personal_ids)
+
+
+class TestAttackTargets:
+    def test_target_bundle_shapes(self, tiny_pipeline):
+        uid = tiny_pipeline.attack_users()[0]
+        target = tiny_pipeline.attack_target(uid, SpatialLevel.BUILDING)
+        spec = tiny_pipeline.spec(SpatialLevel.BUILDING)
+        assert target.prior.shape == (spec.num_locations,)
+        np.testing.assert_allclose(target.prior.sum(), 1.0, atol=1e-9)
+        assert 0 < len(target.pruned_locations) <= spec.num_locations
+        assert len(target.windows) > 0
+
+    def test_temperature_builds_defended_predictor(self, tiny_pipeline):
+        uid = tiny_pipeline.attack_users()[0]
+        defended = tiny_pipeline.attack_target(uid, SpatialLevel.BUILDING, temperature=1e-4)
+        undefended = tiny_pipeline.attack_target(uid, SpatialLevel.BUILDING)
+        assert defended.predictor.model.privacy_temperature == 1e-4
+        assert undefended.predictor.model.privacy_temperature == 1.0
+        # Cached artifact itself must stay undefended.
+        artifact = tiny_pipeline.personal(uid, SpatialLevel.BUILDING)
+        assert artifact.model.privacy_temperature == 1.0
+
+    def test_personal_week_limit(self, tiny_pipeline):
+        uid = tiny_pipeline.attack_users()[0]
+        limited = tiny_pipeline.personal(uid, SpatialLevel.BUILDING, train_weeks=1)
+        full = tiny_pipeline.personal(uid, SpatialLevel.BUILDING)
+        assert len(limited.train) <= len(full.train)
+        # Test windows identical regardless of training size.
+        assert [w.target for w in limited.test.windows] == [
+            w.target for w in full.test.windows
+        ]

@@ -1,0 +1,80 @@
+"""Unit tests for text rendering of results."""
+
+from repro.eval import (
+    AttackMethodResult,
+    PersonalizationRow,
+    format_table,
+    render_accuracy_grid,
+    render_attack_methods,
+    render_personalization,
+    render_series,
+    render_training_sweep,
+)
+from repro.eval.reporting import render_bar_chart
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        assert "1.50" in lines[2]
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out
+
+
+class TestRenderers:
+    def test_render_series(self):
+        out = render_series({1: 50.0, 3: 75.0})
+        assert "50.00" in out and "75.00" in out
+
+    def test_render_attack_methods(self):
+        results = {
+            "time-based": AttackMethodResult(
+                name="time-based", accuracy={1: 30.0, 3: 60.0}, runtime_seconds=1.5, queries=100
+            )
+        }
+        out = render_attack_methods(results)
+        assert "time-based" in out
+        assert "top-1" in out
+        assert "100" in out
+
+    def test_render_accuracy_grid(self):
+        out = render_accuracy_grid({"A1": {1: 10.0, 3: 20.0}}, row_label="adversary")
+        assert "adversary" in out
+        assert "A1" in out
+
+    def test_render_personalization(self):
+        rows = {
+            "building": [
+                PersonalizationRow("tl_fe", train_top1=60.0, test_top1=55.0, test_top2=65.0, test_top3=70.0)
+            ]
+        }
+        out = render_personalization(rows)
+        assert "building" in out and "tl_fe" in out and "55.00" in out
+
+    def test_render_bar_chart_scales_to_peak(self):
+        out = render_bar_chart({"a": 50.0, "b": 25.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert "50.0%" in lines[0]
+
+    def test_render_bar_chart_empty(self):
+        assert "empty" in render_bar_chart({})
+
+    def test_render_bar_chart_zero_values(self):
+        out = render_bar_chart({"a": 0.0})
+        assert "█" not in out
+
+    def test_render_training_sweep(self):
+        rows = {
+            2: [PersonalizationRow("lstm", 80.0, 45.0, 55.0, 60.0)],
+            4: [PersonalizationRow("lstm", 85.0, 50.0, 60.0, 66.0)],
+        }
+        out = render_training_sweep(rows)
+        assert "weeks" in out
+        assert "lstm" in out

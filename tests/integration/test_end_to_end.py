@@ -1,0 +1,122 @@
+"""Integration test: the paper's full story on one small corpus.
+
+corpus -> cloud general training -> device personalization -> deployment ->
+inversion attack -> Pelican defense.  Asserts the qualitative claims:
+
+1. personalization beats the general model for the user;
+2. the inversion attack substantially beats random guessing;
+3. the privacy layer does not change service top-k accuracy;
+4. the privacy layer reduces attack accuracy (leakage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AdversaryClass,
+    PriorMethod,
+    TimeBasedAttack,
+    attack_user,
+    build_prior,
+    prune_locations,
+)
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.models import (
+    GeneralModelConfig,
+    NextLocationPredictor,
+    PersonalizationConfig,
+    PersonalizationMethod,
+)
+from repro.pelican import DeploymentMode, Pelican, PelicanConfig, leakage_reduction
+
+
+@pytest.fixture(scope="module")
+def world():
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_buildings=25, num_contributors=8, num_personal_users=2, num_days=42, seed=21
+        )
+    )
+    spec = corpus.spec(SpatialLevel.BUILDING)
+    system = Pelican(
+        spec,
+        PelicanConfig(
+            general=GeneralModelConfig(hidden_size=32, epochs=10, patience=4),
+            personalization=PersonalizationConfig(epochs=12, patience=5),
+            privacy_temperature=1e-3,
+            deployment=DeploymentMode.LOCAL,
+        ),
+    )
+    train, test = corpus.contributor_dataset(SpatialLevel.BUILDING).split_by_user(0.8)
+    system.initial_training(train)
+    uid = corpus.personal_ids[0]
+    user_train, user_test = corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+    user = system.onboard_user(uid, user_train)
+    return corpus, spec, system, user, user_train, user_test
+
+
+class TestPersonalizationWins:
+    def test_personal_beats_general_for_user(self, world):
+        corpus, spec, system, user, user_train, user_test = world
+        X, y = user_test.encode()
+        general = NextLocationPredictor(system.cloud.general_model, spec)
+        personal = user.endpoint.predictor
+        assert personal.top_k_accuracy(X, y, 3) >= general.top_k_accuracy(X, y, 3)
+
+
+class TestAttackAndDefense:
+    @pytest.fixture(scope="class")
+    def attack_results(self, world):
+        corpus, spec, system, user, user_train, user_test = world
+        prior = build_prior(PriorMethod.TRUE, spec.num_locations, train_dataset=user_train)
+
+        defended_pred = user.endpoint.predictor  # deployed with privacy layer
+        undefended_model = defended_pred.model.copy(np.random.default_rng(0))
+        undefended_model.set_privacy_temperature(1.0)
+        undefended_pred = NextLocationPredictor(undefended_model, spec)
+
+        def run(predictor):
+            pruned = prune_locations(predictor, user_test)
+            attack = TimeBasedAttack(candidate_locations=pruned)
+            return attack_user(
+                attack, predictor, user_test, AdversaryClass.A1, prior, max_instances=20
+            )
+
+        return run(undefended_pred), run(defended_pred), spec
+
+    def test_attack_beats_random_guessing(self, attack_results):
+        undefended, _, spec = attack_results
+        random_top3 = 3.0 / spec.num_locations
+        assert undefended.accuracy(3) > 2 * random_top3
+
+    def test_defense_reduces_leakage(self, attack_results):
+        undefended, defended, _ = attack_results
+        mean_reduction = np.mean(
+            [
+                leakage_reduction(undefended.accuracy(k), defended.accuracy(k))
+                for k in (2, 3, 4, 5)
+            ]
+        )
+        assert mean_reduction > 0.0
+
+    def test_service_accuracy_unchanged_by_defense(self, world):
+        corpus, spec, system, user, user_train, user_test = world
+        X, y = user_test.encode()
+        defended = user.endpoint.predictor
+        undefended_model = defended.model.copy(np.random.default_rng(0))
+        undefended_model.set_privacy_temperature(1.0)
+        undefended = NextLocationPredictor(undefended_model, spec)
+        for k in (1, 2, 3):
+            assert defended.top_k_accuracy(X, y, k) == undefended.top_k_accuracy(X, y, k)
+
+
+class TestModelUpdates:
+    def test_update_cycle_keeps_service_running(self, world):
+        corpus, spec, system, user, user_train, user_test = world
+        uid = user.user_id
+        refreshed = system.update_user(uid, user_test)
+        top = system.query(uid, user_test.windows[0].history, k=3)
+        assert len(top) == 3
+        assert refreshed.endpoint.predictor.model.privacy_temperature == pytest.approx(
+            user.endpoint.predictor.model.privacy_temperature
+        )

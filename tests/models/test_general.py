@@ -1,0 +1,45 @@
+"""Unit tests for general-model training."""
+
+import numpy as np
+
+from repro.data import SpatialLevel
+from repro.models import GeneralModelConfig, NextLocationPredictor, train_general_model
+
+
+class TestGeneralTraining:
+    def test_loss_decreases_and_eval_mode(self, tiny_corpus):
+        pooled = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING)
+        train, _ = pooled.split_by_user(0.8)
+        model, result = train_general_model(
+            train,
+            GeneralModelConfig(hidden_size=16, epochs=4, patience=None),
+            np.random.default_rng(0),
+        )
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert not model.training
+
+    def test_architecture_matches_config(self, tiny_corpus):
+        pooled = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING)
+        train, _ = pooled.split_by_user(0.8)
+        config = GeneralModelConfig(hidden_size=20, num_layers=2, epochs=1)
+        model, _ = train_general_model(train, config, np.random.default_rng(0))
+        assert model.hidden_size == 20
+        assert model.lstm.num_layers == 2
+        assert model.num_locations == train.spec.num_locations
+
+    def test_beats_uniform_guessing(self, tiny_general, tiny_corpus):
+        model, _, test = tiny_general
+        spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        predictor = NextLocationPredictor(model, spec)
+        X, y = test.encode()
+        top3 = predictor.top_k_accuracy(X, y, 3)
+        assert top3 > 3.0 / spec.num_locations  # better than chance
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        pooled = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING)
+        train, _ = pooled.split_by_user(0.8)
+        config = GeneralModelConfig(hidden_size=12, epochs=2, patience=None)
+        a, _ = train_general_model(train, config, np.random.default_rng(7))
+        b, _ = train_general_model(train, config, np.random.default_rng(7))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)

@@ -1,0 +1,123 @@
+"""Unit tests for the Markov-chain baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import FeatureSpec, SequenceDataset, SessionFeatures
+from repro.data.dataset import Window
+from repro.models import MarkovChainModel, TimeAwareMarkovModel
+
+SPEC = FeatureSpec(num_locations=5)
+
+
+def make_window(prev2, prev1, target, entry1=20):
+    return Window(
+        user_id=0,
+        history=(
+            SessionFeatures(10, 3, prev2, 0),
+            SessionFeatures(entry1, 3, prev1, 0),
+        ),
+        target=target,
+        day_index=0,
+        contiguous=True,
+    )
+
+
+@pytest.fixture
+def chain_dataset():
+    """A deterministic chain 0 -> 1 -> 2 -> 0 plus a rare 1 -> 3 branch."""
+    windows = []
+    for _ in range(9):
+        windows.extend(
+            [make_window(0, 1, 2), make_window(1, 2, 0), make_window(2, 0, 1)]
+        )
+    windows.append(make_window(0, 1, 3))
+    return SequenceDataset(spec=SPEC, windows=windows)
+
+
+class TestMarkovChain:
+    def test_learns_dominant_transition(self, chain_dataset):
+        model = MarkovChainModel(num_locations=5, order=2).fit(chain_dataset)
+        probs = model.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(20, 3, 1, 0))
+        )
+        assert probs.argmax() == 2
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_rare_branch_has_some_mass(self, chain_dataset):
+        model = MarkovChainModel(num_locations=5, order=2).fit(chain_dataset)
+        probs = model.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(20, 3, 1, 0))
+        )
+        assert probs[3] > probs[4]  # observed once vs never
+
+    def test_backoff_to_order1_then_marginal(self, chain_dataset):
+        model = MarkovChainModel(num_locations=5, order=2).fit(chain_dataset)
+        # Unseen order-2 context (4, 1) backs off to order-1 context 1.
+        probs = model.confidences(
+            (SessionFeatures(10, 3, 4, 0), SessionFeatures(20, 3, 1, 0))
+        )
+        assert probs.argmax() == 2
+        # Fully unseen previous location backs off to the marginal.
+        probs = model.confidences(
+            (SessionFeatures(10, 3, 4, 0), SessionFeatures(20, 3, 4, 0))
+        )
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_top_k_accuracy_on_chain(self, chain_dataset):
+        model = MarkovChainModel(num_locations=5, order=2).fit(chain_dataset)
+        assert model.top_k_accuracy(chain_dataset, 1) > 0.9
+
+    def test_unfit_model_rejected(self):
+        model = MarkovChainModel(num_locations=5)
+        with pytest.raises(RuntimeError):
+            model.confidences((SessionFeatures(0, 0, 0, 0), SessionFeatures(0, 0, 1, 0)))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChainModel(num_locations=5, order=3)
+
+    def test_empty_dataset_accuracy_nan(self):
+        model = MarkovChainModel(num_locations=5).fit(SequenceDataset(spec=SPEC))
+        assert np.isnan(model.top_k_accuracy(SequenceDataset(spec=SPEC), 1))
+
+
+class TestTimeAwareMarkov:
+    def test_time_bucket_disambiguates(self):
+        """Same previous location, different time -> different successor."""
+        windows = []
+        for _ in range(10):
+            windows.append(make_window(0, 1, 2, entry1=18))  # morning: 1 -> 2
+            windows.append(make_window(0, 1, 3, entry1=40))  # evening: 1 -> 3
+        dataset = SequenceDataset(spec=SPEC, windows=windows)
+        model = TimeAwareMarkovModel(num_locations=5).fit(dataset)
+        morning = model.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(18, 3, 1, 0))
+        )
+        evening = model.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(40, 3, 1, 0))
+        )
+        assert morning.argmax() == 2
+        assert evening.argmax() == 3
+        # The plain order-1 chain cannot separate these.
+        plain = MarkovChainModel(num_locations=5, order=1).fit(dataset)
+        flat = plain.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(18, 3, 1, 0))
+        )
+        assert abs(flat[2] - flat[3]) < 0.2
+
+    def test_fallback_for_unseen_bucket(self, chain_dataset):
+        model = TimeAwareMarkovModel(num_locations=5).fit(chain_dataset)
+        probs = model.confidences(
+            (SessionFeatures(10, 3, 0, 0), SessionFeatures(47, 3, 1, 0))
+        )
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_beats_chance_on_real_user(self, tiny_corpus):
+        from repro.data import SpatialLevel
+
+        uid = tiny_corpus.personal_ids[0]
+        train, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        model = TimeAwareMarkovModel(num_locations=spec.num_locations).fit(train)
+        assert model.top_k_accuracy(test, 3) > 3.0 / spec.num_locations

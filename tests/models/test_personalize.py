@@ -1,0 +1,117 @@
+"""Unit tests for the four personalization methods."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.models import (
+    NextLocationPredictor,
+    PersonalizationConfig,
+    PersonalizationMethod,
+    personalize,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_corpus, tiny_general):
+    general, _, _ = tiny_general
+    uid = tiny_corpus.personal_ids[0]
+    user_ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+    train, test = user_ds.split(0.8)
+    return general, train, test, tiny_corpus.spec(SpatialLevel.BUILDING)
+
+
+CONFIG = PersonalizationConfig(epochs=4, patience=None, scratch_hidden_size=12)
+
+
+class TestReuse:
+    def test_returns_copy_with_same_predictions(self, setup, rng):
+        general, train, test, spec = setup
+        model, fit_result = personalize(general, train, PersonalizationMethod.REUSE, CONFIG, rng)
+        assert fit_result is None
+        X, y = test.encode()
+        a = NextLocationPredictor(general, spec).top_k_accuracy(X, y, 1)
+        b = NextLocationPredictor(model, spec).top_k_accuracy(X, y, 1)
+        assert a == b
+
+    def test_copy_does_not_alias_general(self, setup, rng):
+        general, train, _, _ = setup
+        model, _ = personalize(general, train, PersonalizationMethod.REUSE, CONFIG, rng)
+        model.head.weight.data[:] = 0.0
+        assert not np.allclose(general.head.weight.data, 0.0)
+
+
+class TestScratchLSTM:
+    def test_single_layer_and_size(self, setup, rng):
+        general, train, _, _ = setup
+        model, _ = personalize(general, train, PersonalizationMethod.LSTM, CONFIG, rng)
+        assert model.lstm.num_layers == 1
+        assert model.hidden_size == CONFIG.scratch_hidden_size
+        assert model.num_parameters() < general.num_parameters()
+
+
+class TestFeatureExtraction:
+    def test_base_lstm_frozen_and_unchanged(self, setup, rng):
+        general, train, _, _ = setup
+        before = {
+            name: p.data.copy() for name, p in general.named_parameters() if "lstm" in name
+        }
+        model, _ = personalize(general, train, PersonalizationMethod.TL_FE, CONFIG, rng)
+        # The personal copy's base LSTM must be frozen and bit-identical to
+        # the general model's (feature extraction never touches it).
+        for name, param in model.named_parameters():
+            if name.startswith("lstm."):
+                assert not param.requires_grad
+                np.testing.assert_array_equal(param.data, before[name])
+
+    def test_surplus_layer_added_and_trainable(self, setup, rng):
+        general, train, _, _ = setup
+        model, _ = personalize(general, train, PersonalizationMethod.TL_FE, CONFIG, rng)
+        assert model.extra is not None
+        assert all(p.requires_grad for p in model.extra.parameters())
+
+    def test_general_model_untouched(self, setup, rng):
+        general, train, _, _ = setup
+        snapshot = general.state_dict()
+        personalize(general, train, PersonalizationMethod.TL_FE, CONFIG, rng)
+        for name, value in general.state_dict().items():
+            np.testing.assert_array_equal(value, snapshot[name])
+        assert all(p.requires_grad for p in general.parameters())
+
+
+class TestFineTune:
+    def test_first_layer_frozen_second_trained(self, setup, rng):
+        general, train, _, _ = setup
+        model, _ = personalize(general, train, PersonalizationMethod.TL_FT, CONFIG, rng)
+        first = model.lstm.cells[0]
+        second = model.lstm.cells[1]
+        assert all(not p.requires_grad for p in first.parameters())
+        assert all(p.requires_grad for p in second.parameters())
+        np.testing.assert_array_equal(
+            first.weight_ih.data, general.lstm.cells[0].weight_ih.data
+        )
+        assert not np.allclose(
+            second.weight_ih.data, general.lstm.cells[1].weight_ih.data
+        )
+
+    def test_no_surplus_layer(self, setup, rng):
+        general, train, _, _ = setup
+        model, _ = personalize(general, train, PersonalizationMethod.TL_FT, CONFIG, rng)
+        assert model.extra is None
+
+
+class TestTrainingEffect:
+    @pytest.mark.parametrize(
+        "method",
+        [PersonalizationMethod.LSTM, PersonalizationMethod.TL_FE, PersonalizationMethod.TL_FT],
+    )
+    def test_training_reduces_loss(self, setup, rng, method):
+        general, train, _, _ = setup
+        _, fit_result = personalize(general, train, method, CONFIG, rng)
+        assert fit_result is not None
+        assert fit_result.train_losses[-1] <= fit_result.train_losses[0]
+
+    def test_unknown_method_rejected(self, setup, rng):
+        general, train, _, _ = setup
+        with pytest.raises(ValueError):
+            personalize(general, train, "bogus", CONFIG, rng)

@@ -1,0 +1,77 @@
+"""Unit tests for the black-box predictor interface."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.models import NextLocationModel, NextLocationPredictor
+
+
+@pytest.fixture
+def predictor(tiny_corpus, tiny_general):
+    general, _, _ = tiny_general
+    return NextLocationPredictor(general, tiny_corpus.spec(SpatialLevel.BUILDING))
+
+
+@pytest.fixture
+def sample_history(tiny_corpus):
+    uid = tiny_corpus.personal_ids[0]
+    ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+    return ds.windows[0].history
+
+
+class TestQueries:
+    def test_confidences_are_distribution(self, predictor, sample_history):
+        probs = predictor.confidences(sample_history)
+        assert probs.shape == (predictor.spec.num_locations,)
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_top_k_sorted_desc(self, predictor, sample_history):
+        top = predictor.top_k(sample_history, 5)
+        confidences = [c for _, c in top]
+        assert confidences == sorted(confidences, reverse=True)
+        assert len(top) == 5
+
+    def test_predict_is_top_1(self, predictor, sample_history):
+        assert predictor.predict(sample_history) == predictor.top_k(sample_history, 1)[0][0]
+
+    def test_query_count_tracks(self, predictor, sample_history):
+        before = predictor.query_count
+        predictor.confidences(sample_history)
+        assert predictor.query_count == before + 1
+
+    def test_domain_mismatch_rejected(self, tiny_corpus, tiny_general):
+        general, _, _ = tiny_general
+        with pytest.raises(ValueError):
+            NextLocationPredictor(general, tiny_corpus.spec(SpatialLevel.AP))
+
+
+class TestLogSpacePrecision:
+    def test_log_confidences_match_linear_when_undefended(self, predictor, sample_history):
+        encoded = predictor.spec.encode_sequence(sample_history)[None, :, :]
+        linear = predictor.confidences_encoded(encoded)
+        logp = predictor.log_confidences_encoded(encoded)
+        np.testing.assert_allclose(np.exp(logp), linear, atol=1e-9)
+
+    def test_top_k_accuracy_temperature_invariant(self, tiny_corpus, tiny_general):
+        """The paper's claim: the privacy layer leaves accuracy unchanged
+        (given adequate precision — our log-space ranking)."""
+        general, _, test = tiny_general
+        spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        X, y = test.encode()
+        defended_model = general.copy(np.random.default_rng(0))
+        defended_model.set_privacy_temperature(1e-4)
+        plain = NextLocationPredictor(general, spec)
+        defended = NextLocationPredictor(defended_model, spec)
+        for k in (1, 2, 3):
+            assert plain.top_k_accuracy(X, y, k) == defended.top_k_accuracy(X, y, k)
+
+    def test_linear_confidences_saturate_under_privacy(self, tiny_corpus, tiny_general, sample_history):
+        general, _, _ = tiny_general
+        spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        defended_model = general.copy(np.random.default_rng(0))
+        defended_model.set_privacy_temperature(1e-4)
+        defended = NextLocationPredictor(defended_model, spec)
+        probs = defended.confidences(sample_history)
+        assert probs.max() > 0.999  # the attack-facing view saturates

@@ -1,0 +1,109 @@
+"""Unit tests for Linear, Dropout, Sequential, TemperatureScaling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Sequential, TemperatureScaling, Tensor
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(4, 3, rng)
+        layer.weight.data = np.eye(4, 3)
+        layer.bias.data = np.ones(3)
+        out = layer(Tensor(np.ones((2, 4))))
+        np.testing.assert_allclose(out.numpy(), np.full((2, 3), 2.0))
+
+    def test_gradients_flow_to_params(self, rng):
+        layer = Linear(3, 2, rng)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+    def test_repr(self, rng):
+        assert "Linear" in repr(Linear(2, 5, rng))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_train_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        layer.train()
+        x = np.ones((100, 100))
+        out = layer(Tensor(x)).numpy()
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout rescale
+
+    def test_zero_probability_is_identity_in_train(self, rng):
+        layer = Dropout(0.0, rng)
+        x = np.ones((5, 5))
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5])
+    def test_invalid_probability_rejected(self, p, rng):
+        with pytest.raises(ValueError):
+            Dropout(p, rng)
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        out = seq(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 2)
+
+    def test_parameters_discovered_through_list(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        names = [name for name, _ in seq.named_parameters()]
+        assert "steps.0.weight" in names
+        assert "steps.1.bias" in names
+        assert len(seq.parameters()) == 4
+
+    def test_append_and_indexing(self, rng):
+        seq = Sequential(Linear(2, 2, rng))
+        seq.append(Linear(2, 2, rng))
+        assert len(seq) == 2
+        assert isinstance(seq[1], Linear)
+
+
+class TestTemperatureScaling:
+    def test_identity_in_training_mode(self):
+        layer = TemperatureScaling(0.01)
+        layer.train()
+        x = np.array([[1.0, 2.0]])
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_scales_in_eval_mode(self):
+        layer = TemperatureScaling(0.5)
+        layer.eval()
+        x = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), x / 0.5)
+
+    def test_unit_temperature_is_identity(self):
+        layer = TemperatureScaling(1.0)
+        layer.eval()
+        x = np.array([[3.0, -1.0]])
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_preserves_ordering(self):
+        layer = TemperatureScaling(1e-4)
+        layer.eval()
+        x = np.array([[0.1, 0.7, 0.3]])
+        out = layer(Tensor(x)).numpy()
+        np.testing.assert_array_equal(np.argsort(out), np.argsort(x))
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5])
+    def test_nonpositive_temperature_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TemperatureScaling(bad)
+        layer = TemperatureScaling(1.0)
+        with pytest.raises(ValueError):
+            layer.set_temperature(bad)

@@ -1,0 +1,45 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, NLLLoss, Tensor
+from repro.nn.functional import log_softmax
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.5], [0.0, 3.0, -1.0]])
+        targets = np.array([0, 1])
+        loss = CrossEntropyLoss()(Tensor(logits), targets)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[[0, 1], targets]).mean()
+        assert abs(loss.item() - expected) < 1e-12
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0]])
+        loss = CrossEntropyLoss()(Tensor(logits), np.array([0]))
+        assert loss.item() < 1e-6
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 0.0]]), requires_grad=True)
+        CrossEntropyLoss()(logits, np.array([1])).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-12)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.ones(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.ones((2, 3))), np.array([0]))
+
+
+class TestNLL:
+    def test_matches_cross_entropy_via_log_softmax(self):
+        logits = np.array([[0.3, -1.2, 2.0], [1.0, 1.0, 1.0]])
+        targets = np.array([2, 0])
+        ce = CrossEntropyLoss()(Tensor(logits), targets).item()
+        nll = NLLLoss()(log_softmax(Tensor(logits), axis=-1), targets).item()
+        assert abs(ce - nll) < 1e-12

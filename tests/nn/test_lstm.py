@@ -1,0 +1,125 @@
+"""Unit tests for LSTMCell and LSTM, including exact gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, CrossEntropyLoss, Linear, LSTMCell, Tensor
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(5, 8, rng)
+        h, (h2, c2) = cell(Tensor(np.ones((3, 5))), cell.initial_state(3))
+        assert h.shape == (3, 8)
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_state_evolves(self, rng):
+        cell = LSTMCell(4, 4, rng)
+        state = cell.initial_state(1)
+        x = Tensor(np.ones((1, 4)))
+        _, state1 = cell(x, state)
+        _, state2 = cell(x, state1)
+        assert not np.allclose(state1[1].numpy(), state2[1].numpy())
+
+    def test_gates_bounded_effect(self, rng):
+        """Cell output h = o * tanh(c) is bounded in (-1, 1)."""
+        cell = LSTMCell(3, 6, rng)
+        big_input = Tensor(np.full((2, 3), 100.0))
+        h, _ = cell(big_input, cell.initial_state(2))
+        assert np.all(np.abs(h.numpy()) < 1.0)
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        lstm = LSTM(6, 10, 2, rng)
+        out = lstm(Tensor(np.ones((4, 3, 6))))
+        assert out.shape == (4, 3, 10)
+
+    def test_rejects_wrong_rank(self, rng):
+        lstm = LSTM(6, 10, 1, rng)
+        with pytest.raises(ValueError, match="batch, seq, features"):
+            lstm(Tensor(np.ones((4, 6))))
+
+    def test_rejects_zero_layers(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(4, 4, 0, rng)
+
+    def test_last_hidden(self, rng):
+        lstm = LSTM(3, 5, 1, rng)
+        x = Tensor(np.ones((2, 4, 3)))
+        full = lstm(x).numpy()
+        lstm_last = lstm.last_hidden(Tensor(np.ones((2, 4, 3)))).numpy()
+        # Same weights, deterministic in eval: the last step must match.
+        lstm.eval()
+        full = lstm(Tensor(np.ones((2, 4, 3)))).numpy()
+        last = lstm.last_hidden(Tensor(np.ones((2, 4, 3)))).numpy()
+        np.testing.assert_allclose(last, full[:, -1, :])
+
+    def test_dropout_only_between_layers_in_train(self):
+        rng = np.random.default_rng(3)
+        lstm = LSTM(4, 4, 2, rng, dropout=0.9)
+        x = Tensor(np.ones((2, 2, 4)))
+        lstm.eval()
+        a = lstm(x).numpy()
+        b = lstm(x).numpy()
+        np.testing.assert_array_equal(a, b)  # eval: deterministic
+        lstm.train()
+        c = lstm(x).numpy()
+        d = lstm(x).numpy()
+        assert not np.allclose(c, d)  # train: stochastic masks
+
+    def test_parameter_count(self, rng):
+        lstm = LSTM(5, 8, 2, rng)
+        # layer 0: (5*32 + 8*32 + 32); layer 1: (8*32 + 8*32 + 32)
+        expected = (5 * 32 + 8 * 32 + 32) + (8 * 32 + 8 * 32 + 32)
+        assert lstm.num_parameters() == expected
+
+    def test_input_gradients_match_numerical(self, rng):
+        """Full-pipeline gradcheck (LSTM -> Linear -> CE) vs finite differences."""
+        lstm = LSTM(4, 3, 2, rng, dropout=0.0)
+        head = Linear(3, 2, rng)
+        loss_fn = CrossEntropyLoss()
+        targets = np.array([1, 0])
+        x0 = rng.normal(size=(2, 2, 4))
+
+        def loss_of(arr):
+            hidden = lstm(Tensor(arr))
+            logits = head(hidden[:, hidden.shape[1] - 1, :])
+            return loss_fn(logits, targets).item()
+
+        x = Tensor(x0, requires_grad=True)
+        hidden = lstm(x)
+        loss = loss_fn(head(hidden[:, hidden.shape[1] - 1, :]), targets)
+        loss.backward()
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (1, 1, 2), (0, 1, 3)]:
+            xp, xm = x0.copy(), x0.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            numeric = (loss_of(xp) - loss_of(xm)) / (2 * eps)
+            assert abs(x.grad[idx] - numeric) < 1e-7
+
+    def test_weight_gradients_match_numerical(self, rng):
+        lstm = LSTM(3, 2, 1, rng, dropout=0.0)
+        head = Linear(2, 2, rng)
+        loss_fn = CrossEntropyLoss()
+        x = Tensor(rng.normal(size=(2, 2, 3)))
+        targets = np.array([0, 1])
+
+        def loss_now():
+            hidden = lstm(x)
+            return loss_fn(head(hidden[:, 1, :]), targets)
+
+        loss_now().backward()
+        w = lstm.cells[0].weight_hh
+        analytic = w.grad[0, 1]
+        eps = 1e-6
+        orig = w.data[0, 1]
+        w.data[0, 1] = orig + eps
+        up = loss_now().item()
+        w.data[0, 1] = orig - eps
+        down = loss_now().item()
+        w.data[0, 1] = orig
+        assert abs(analytic - (up - down) / (2 * eps)) < 1e-7

@@ -1,0 +1,122 @@
+"""Unit tests for the Module base class."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, Linear, Module, Sequential, Tensor
+from repro.nn.module import Parameter
+
+
+class ToyModel(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.encoder = Linear(4, 8, rng)
+        self.blocks = [Linear(8, 8, rng), Linear(8, 8, rng)]
+        self.head = Linear(8, 2, rng)
+
+    def forward(self, x):
+        x = self.encoder(x)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(x)
+
+
+class TestDiscovery:
+    def test_named_parameters_cover_nested_and_lists(self, rng):
+        model = ToyModel(rng)
+        names = {name for name, _ in model.named_parameters()}
+        assert "encoder.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "head.bias" in names
+        assert len(names) == 8
+
+    def test_lstm_cells_discovered(self, rng):
+        lstm = LSTM(3, 4, 2, rng)
+        names = {name for name, _ in lstm.named_parameters()}
+        assert "cells.0.weight_ih" in names
+        assert "cells.1.bias" in names
+
+    def test_num_parameters_trainable_filter(self, rng):
+        model = ToyModel(rng)
+        total = model.num_parameters()
+        model.encoder.freeze()
+        assert model.num_parameters(trainable_only=True) < total
+        assert model.num_parameters() == total
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        model = ToyModel(rng)
+        model.eval()
+        assert not model.encoder.training
+        assert not model.blocks[1].training
+        model.train()
+        assert model.blocks[0].training
+
+
+class TestFreeze:
+    def test_freeze_unfreeze_roundtrip(self, rng):
+        model = ToyModel(rng)
+        model.freeze()
+        assert all(not p.requires_grad for p in model.parameters())
+        model.unfreeze()
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_subtree_freeze(self, rng):
+        model = ToyModel(rng)
+        model.encoder.freeze()
+        assert not model.encoder.weight.requires_grad
+        assert model.head.weight.requires_grad
+
+    def test_zero_grad_clears(self, rng):
+        model = ToyModel(rng)
+        out = model(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert model.head.bias.grad is not None
+        model.zero_grad()
+        assert model.head.bias.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = ToyModel(rng)
+        b = ToyModel(np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = ToyModel(rng)
+        state = model.state_dict()
+        state["encoder.weight"][:] = 0.0
+        assert not np.allclose(model.encoder.weight.data, 0.0)
+
+    def test_strict_missing_key_raises(self, rng):
+        model = ToyModel(rng)
+        state = model.state_dict()
+        del state["head.bias"]
+        with pytest.raises(KeyError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self, rng):
+        model = ToyModel(rng)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            model.load_state_dict(state)
+
+    def test_non_strict_partial_load(self, rng):
+        model = ToyModel(rng)
+        original_head = model.head.weight.data.copy()
+        partial = {"encoder.weight": np.zeros_like(model.encoder.weight.data)}
+        model.load_state_dict(partial, strict=False)
+        np.testing.assert_array_equal(model.encoder.weight.data, 0.0)
+        np.testing.assert_array_equal(model.head.weight.data, original_head)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = ToyModel(rng)
+        state = model.state_dict()
+        state["encoder.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)

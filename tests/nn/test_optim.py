@@ -1,0 +1,109 @@
+"""Unit tests for SGD, Adam, weight decay, freezing, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_step(optimizer, param):
+    """One step of minimizing ||param||^2."""
+    optimizer.zero_grad()
+    loss = (param * param).sum()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        losses = [quadratic_step(opt, p) for _ in range(50)]
+        assert losses[-1] < 1e-3 * losses[0]
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.array([5.0]))
+        p2 = Parameter(np.array([5.0]))
+        plain = SGD([p1], lr=0.01)
+        momentum = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(plain, p1)
+            quadratic_step(momentum, p2)
+        assert abs(p2.data[0]) < abs(p1.data[0])
+
+    def test_weight_decay_shrinks_params_without_gradient_signal(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_hyperparameters(self):
+        p = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0, 2.0]))
+        opt = Adam([p], lr=0.2)
+        losses = [quadratic_step(opt, p) for _ in range(100)]
+        assert losses[-1] < 1e-4 * losses[0]
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam step should be ~lr regardless of gradient scale."""
+        for scale in (0.01, 100.0):
+            p = Parameter(np.array([scale]))
+            opt = Adam([p], lr=0.1)
+            opt.zero_grad()
+            p.grad = np.array([scale])
+            opt.step()
+            np.testing.assert_allclose(scale - p.data[0], 0.1, rtol=1e-4)
+
+    def test_invalid_betas(self):
+        p = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.999))
+
+
+class TestFreezing:
+    def test_frozen_parameters_not_updated(self):
+        frozen = Parameter(np.array([1.0]), requires_grad=False)
+        live = Parameter(np.array([1.0]))
+        opt = SGD([frozen, live], lr=0.5)
+        frozen.grad = np.array([1.0])
+        live.grad = np.array([1.0])
+        opt.step()
+        assert frozen.data[0] == 1.0
+        assert live.data[0] == 0.5
+
+    def test_missing_gradient_skipped(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad accumulated: no-op
+        assert p.data[0] == 2.0
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert abs(norm - 5.0) < 1e-12
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])

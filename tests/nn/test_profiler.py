@@ -1,0 +1,65 @@
+"""Unit tests for FLOP accounting."""
+
+import numpy as np
+
+from repro.nn import Tensor
+from repro.nn.profiler import FlopCounter, flop_counter
+
+
+class TestFlopCounter:
+    def test_matrix_matrix_macs(self):
+        counter = FlopCounter()
+        counter.add_matmul((4, 5), (5, 6))
+        assert counter.macs == 4 * 5 * 6
+
+    def test_batched_macs(self):
+        counter = FlopCounter()
+        counter.add_matmul((2, 3, 4, 5), (5, 6))
+        assert counter.macs == 2 * 3 * 4 * 5 * 6
+
+    def test_vector_cases(self):
+        counter = FlopCounter()
+        counter.add_matmul((7,), (7,))
+        assert counter.macs == 7
+        counter.add_matmul((7,), (7, 3))
+        counter.add_matmul((4, 7), (7,))
+        assert counter.matmul_calls == 3
+
+    def test_cycle_estimates_scale_with_macs(self):
+        counter = FlopCounter()
+        counter.add_matmul((10, 10), (10, 10))
+        assert counter.estimated_cycles(cycles_per_mac=2.0) == 2000.0
+        assert counter.estimated_billion_cycles(cycles_per_mac=2.0) == 2e-6
+
+
+class TestContextManager:
+    def test_counts_tensor_matmuls(self):
+        with flop_counter() as counter:
+            a = Tensor(np.ones((3, 4)))
+            b = Tensor(np.ones((4, 5)))
+            _ = a @ b
+        assert counter.macs == 3 * 4 * 5
+        assert counter.elapsed_seconds >= 0.0
+
+    def test_inactive_outside_context(self):
+        with flop_counter() as counter:
+            pass
+        before = counter.macs
+        _ = Tensor(np.ones((3, 4))) @ Tensor(np.ones((4, 5)))
+        assert counter.macs == before
+
+    def test_nested_counters_both_count(self):
+        with flop_counter() as outer:
+            with flop_counter() as inner:
+                _ = Tensor(np.ones((2, 2))) @ Tensor(np.ones((2, 2)))
+            _ = Tensor(np.ones((2, 2))) @ Tensor(np.ones((2, 2)))
+        assert inner.macs == 8
+        assert outer.macs == 16
+
+    def test_backward_matmuls_also_counted(self):
+        with flop_counter() as counter:
+            a = Tensor(np.ones((3, 4)), requires_grad=True)
+            b = Tensor(np.ones((4, 5)), requires_grad=True)
+            (a @ b).sum().backward()
+        # forward + two backward matmuls
+        assert counter.matmul_calls == 3

@@ -1,0 +1,112 @@
+"""Unit tests (incl. gradchecks) for RNN and GRU cells."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, GRUCell, Linear, RNNCell, RecurrentStack, Tensor
+
+
+class TestRNNCell:
+    def test_step_shapes(self, rng):
+        cell = RNNCell(4, 6, rng)
+        h, state = cell(Tensor(np.ones((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+        assert state.shape == (3, 6)
+
+    def test_output_bounded_by_tanh(self, rng):
+        cell = RNNCell(4, 6, rng)
+        h, _ = cell(Tensor(np.full((2, 4), 100.0)), cell.initial_state(2))
+        assert np.all(np.abs(h.numpy()) <= 1.0)
+
+
+class TestGRUCell:
+    def test_step_shapes(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h, state = cell(Tensor(np.ones((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_zero_update_gate_keeps_candidate(self, rng):
+        """With the update gate forced to 0 the state becomes the candidate."""
+        cell = GRUCell(2, 2, rng)
+        H = 2
+        # Force update gate pre-activation very negative -> update ~ 0.
+        cell.weight_ih.data[:, H : 2 * H] = 0.0
+        cell.weight_hh.data[:, H : 2 * H] = 0.0
+        cell.bias.data[H : 2 * H] = -100.0
+        x = Tensor(np.ones((1, 2)))
+        state = Tensor(np.full((1, 2), 0.5))
+        h, _ = cell(x, state)
+        # update ~= 0 -> h = candidate (tanh of something), not the old state
+        assert not np.allclose(h.numpy(), 0.5)
+
+    @pytest.mark.parametrize("cell_cls", [RNNCell, GRUCell])
+    def test_gradcheck_through_two_steps(self, cell_cls, rng):
+        cell = cell_cls(3, 4, rng)
+        head = Linear(4, 2, rng)
+        loss_fn = CrossEntropyLoss()
+        x0 = rng.normal(size=(2, 2, 3))
+        targets = np.array([0, 1])
+
+        def run(arr):
+            state = cell.initial_state(2)
+            xs = Tensor(arr)
+            for t in range(2):
+                h, state = cell(xs[:, t, :], state)
+            return loss_fn(head(h), targets)
+
+        x = Tensor(x0, requires_grad=True)
+        state = cell.initial_state(2)
+        for t in range(2):
+            h, state = cell(x[:, t, :], state)
+        loss = loss_fn(head(h), targets)
+        loss.backward()
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (1, 1, 2)]:
+            xp, xm = x0.copy(), x0.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            numeric = (run(xp).item() - run(xm).item()) / (2 * eps)
+            assert abs(x.grad[idx] - numeric) < 1e-7
+
+
+class TestRecurrentStack:
+    @pytest.mark.parametrize("cell_cls", [RNNCell, GRUCell])
+    def test_output_shape(self, cell_cls, rng):
+        stack = RecurrentStack(5, 7, 2, rng, cell_type=cell_cls)
+        out = stack(Tensor(np.ones((3, 4, 5))))
+        assert out.shape == (3, 4, 7)
+
+    def test_rejects_wrong_rank(self, rng):
+        stack = RecurrentStack(5, 7, 1, rng)
+        with pytest.raises(ValueError):
+            stack(Tensor(np.ones((3, 5))))
+
+    def test_rejects_zero_layers(self, rng):
+        with pytest.raises(ValueError):
+            RecurrentStack(5, 7, 0, rng)
+
+    def test_trains_on_simple_task(self, rng):
+        from repro.nn import Module, fit, evaluate_accuracy
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.rnn = RecurrentStack(3, 8, 1, rng, cell_type=GRUCell)
+                self.head = Linear(8, 2, rng)
+
+            def forward(self, x):
+                h = self.rnn(x)
+                return self.head(h[:, h.shape[1] - 1, :])
+
+        X = rng.normal(size=(150, 2, 3))
+        y = (X[:, -1, 0] > 0).astype(np.int64)
+        net = Net()
+        fit(net, X, y, epochs=25, batch_size=16, lr=1e-2, rng=rng)
+        assert evaluate_accuracy(net, X, y) > 0.85
+
+    def test_parameters_discovered(self, rng):
+        stack = RecurrentStack(3, 4, 2, rng, cell_type=RNNCell)
+        names = {name for name, _ in stack.named_parameters()}
+        assert "cells.0.weight_ih" in names
+        assert "cells.1.weight_hh" in names

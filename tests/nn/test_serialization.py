@@ -1,0 +1,48 @@
+"""Unit tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, deserialize_state, load_module, save_module, serialize_state
+
+
+class TestBytesRoundtrip:
+    def test_state_roundtrip(self):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        blob = serialize_state(state, metadata={"note": "hello", "n": 3})
+        restored, metadata = deserialize_state(blob)
+        np.testing.assert_array_equal(restored["w"], state["w"])
+        np.testing.assert_array_equal(restored["b"], state["b"])
+        assert metadata == {"note": "hello", "n": 3}
+
+    def test_empty_metadata(self):
+        blob = serialize_state({"x": np.ones(1)})
+        _, metadata = deserialize_state(blob)
+        assert metadata == {}
+
+    def test_blob_is_bytes(self):
+        blob = serialize_state({"x": np.ones(2)})
+        assert isinstance(blob, bytes)
+        assert len(blob) > 0
+
+
+class TestModuleCheckpoint:
+    def test_save_and_load_module(self, tmp_path, rng):
+        src = Linear(3, 2, rng)
+        path = tmp_path / "ckpt" / "model.npz"
+        size = save_module(src, path, metadata={"epoch": 5})
+        assert size == path.stat().st_size
+
+        dst = Linear(3, 2, np.random.default_rng(7))
+        metadata = load_module(dst, path)
+        assert metadata == {"epoch": 5}
+        np.testing.assert_array_equal(src.weight.data, dst.weight.data)
+        np.testing.assert_array_equal(src.bias.data, dst.bias.data)
+
+    def test_load_into_wrong_shape_raises(self, tmp_path, rng):
+        src = Linear(3, 2, rng)
+        path = tmp_path / "model.npz"
+        save_module(src, path)
+        wrong = Linear(4, 2, rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)

@@ -1,0 +1,228 @@
+"""Unit tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concat, no_grad, ones, stack, zeros
+from repro.nn.tensor import _unbroadcast, is_grad_enabled
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+    return grad
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [1.0 / 3.0])
+        np.testing.assert_allclose(b.grad, [-6.0 / 9.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_scalar_right_ops(self):
+        a = Tensor([2.0], requires_grad=True)
+        (5.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        (10.0 / a).backward()
+        np.testing.assert_allclose(a.grad, [-10.0 / 4.0])
+
+    def test_reuse_accumulates_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_matmul_matrix_matrix(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(3, 4))
+        B = rng.normal(size=(4, 2))
+        a = Tensor(A, requires_grad=True)
+        b = Tensor(B, requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ B.T)
+        np.testing.assert_allclose(b.grad, A.T @ np.ones((3, 2)))
+
+    def test_matmul_vector_cases(self):
+        v = Tensor([1.0, 2.0], requires_grad=True)
+        m = Tensor([[1.0, 0.0], [0.0, 1.0]], requires_grad=True)
+        (v @ m).sum().backward()
+        np.testing.assert_allclose(v.grad, [1.0, 1.0])
+        v2 = Tensor([3.0, 4.0], requires_grad=True)
+        w2 = Tensor([5.0, 6.0], requires_grad=True)
+        (v2 @ w2).backward()
+        np.testing.assert_allclose(v2.grad, [5.0, 6.0])
+        np.testing.assert_allclose(w2.grad, [3.0, 4.0])
+
+
+class TestBroadcasting:
+    def test_unbroadcast_prepended_axes(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(_unbroadcast(grad, (3,)), [4.0, 4.0, 4.0])
+
+    def test_unbroadcast_stretched_axes(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(_unbroadcast(grad, (4, 1)), np.full((4, 1), 3.0))
+
+    def test_broadcast_add_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_broadcast_mul_backward(self):
+        a = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = Tensor(np.full((1, 3), 3.0), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 3), 4.0))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["tanh", "sigmoid", "relu", "exp"])
+    def test_elementwise_gradients_match_numerical(self, op):
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(3, 2))
+        x = Tensor(x0, requires_grad=True)
+        getattr(x, op)().sum().backward()
+        numeric = numerical_grad(lambda arr: getattr(Tensor(arr), op)().sum().item(), x0)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-6)
+
+    def test_log_gradient(self):
+        x0 = np.array([0.5, 2.0, 5.0])
+        x = Tensor(x0, requires_grad=True)
+        x.log().sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0 / x0)
+
+    def test_clip_gradient_masked(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.sum(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_max_gradient_ties_split(self):
+        x = Tensor([1.0, 3.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_reshape_roundtrip(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.T
+        assert y.shape == (3, 2)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_getitem_fancy_indexing(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        x[np.arange(3), np.array([0, 1, 0])].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[0, 0] = expected[1, 1] = expected[2, 0] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_concat_gradient_splits(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+
+class TestGraphSemantics:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).detach()
+        assert not y.requires_grad
+        (y * 2).sum()
+        assert x.grad is None
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_explicit_grad_shape_check(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (x * 2).backward(np.ones(4))
+
+    def test_diamond_graph_accumulates_once(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2
+        z = y + y  # diamond: y feeds z twice
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_item_on_non_scalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == 4.0
+        assert as_tensor(Tensor([1.0])) is not None

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.tensor import _unbroadcast
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-5.0, 5.0, allow_nan=False),
+)
+
+
+@st.composite
+def paired_arrays(draw):
+    """Two arrays of the same shape."""
+    shape = draw(array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4))
+    elems = st.floats(-5.0, 5.0, allow_nan=False)
+    a = draw(arrays(dtype=np.float64, shape=shape, elements=elems))
+    b = draw(arrays(dtype=np.float64, shape=shape, elements=elems))
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(paired_arrays())
+def test_addition_gradient_is_ones(pair):
+    a_data, b_data = pair
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(a_data))
+    np.testing.assert_allclose(b.grad, np.ones_like(b_data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(paired_arrays())
+def test_product_rule(pair):
+    a_data, b_data = pair
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b_data, atol=1e-12)
+    np.testing.assert_allclose(b.grad, a_data, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_tanh_gradient_bounded(data):
+    x = Tensor(data, requires_grad=True)
+    x.tanh().sum().backward()
+    assert np.all(x.grad <= 1.0 + 1e-12)
+    assert np.all(x.grad >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_sum_then_mean_consistency(data):
+    x1 = Tensor(data, requires_grad=True)
+    x1.mean().backward()
+    x2 = Tensor(data, requires_grad=True)
+    (x2.sum() * (1.0 / data.size)).backward()
+    np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(-20.0, 20.0, allow_nan=False),
+    ),
+    st.floats(0.05, 5.0),
+)
+def test_softmax_is_distribution(data, temperature):
+    probs = softmax(Tensor(data), axis=-1, temperature=temperature).numpy()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(len(data)), atol=1e-9)
+    assert np.all(probs >= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(-20.0, 20.0, allow_nan=False),
+    )
+)
+def test_log_softmax_matches_log_of_softmax(data):
+    lsm = log_softmax(Tensor(data), axis=-1).numpy()
+    sm = softmax(Tensor(data), axis=-1).numpy()
+    np.testing.assert_allclose(lsm, np.log(sm), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(-10.0, 10.0, allow_nan=False),
+    )
+)
+def test_temperature_preserves_argmax(data):
+    hot = softmax(Tensor(data), axis=-1, temperature=1.0).numpy()
+    cold = softmax(Tensor(data), axis=-1, temperature=1e-2).numpy()
+    np.testing.assert_array_equal(hot.argmax(axis=-1), cold.argmax(axis=-1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_unbroadcast_identity_on_same_shape(data):
+    np.testing.assert_array_equal(_unbroadcast(data, data.shape), data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(-3.0, 3.0, allow_nan=False),
+    )
+)
+def test_unbroadcast_matches_broadcast_adjoint(grad):
+    """Summing back a broadcast grad equals multiplying by the all-ones
+    Jacobian of the broadcast."""
+    rows, cols = grad.shape
+    reduced = _unbroadcast(grad, (cols,))
+    np.testing.assert_allclose(reduced, grad.sum(axis=0), atol=1e-12)
+    reduced_col = _unbroadcast(grad, (rows, 1))
+    np.testing.assert_allclose(reduced_col, grad.sum(axis=1, keepdims=True), atol=1e-12)

@@ -1,0 +1,137 @@
+"""Unit tests for the training utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Linear,
+    Module,
+    Tensor,
+    TimeSeriesSplit,
+    evaluate_accuracy,
+    fit,
+    grid_search,
+    iterate_minibatches,
+)
+
+
+class TinyClassifier(Module):
+    def __init__(self, hidden=8, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.lstm = LSTM(3, hidden, 1, rng)
+        self.head = Linear(hidden, 2, rng)
+
+    def forward(self, x):
+        h = self.lstm(x)
+        return self.head(h[:, h.shape[1] - 1, :])
+
+
+def make_separable_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2, 3))
+    y = (X[:, -1, 0] > 0).astype(np.int64)
+    return X, y
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self):
+        X = np.arange(10)[:, None]
+        y = np.arange(10)
+        seen = []
+        for bx, _ in iterate_minibatches(X, y, batch_size=3):
+            seen.extend(bx.ravel().tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffles_with_rng(self):
+        X = np.arange(10)[:, None]
+        y = np.arange(10)
+        rng = np.random.default_rng(0)
+        first_batch = next(iter(iterate_minibatches(X, y, 10, rng)))[0].ravel()
+        assert not np.array_equal(first_batch, np.arange(10))
+
+
+class TestFit:
+    def test_loss_decreases(self):
+        X, y = make_separable_data()
+        model = TinyClassifier()
+        result = fit(model, X, y, epochs=15, batch_size=16, lr=1e-2, rng=np.random.default_rng(0))
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert evaluate_accuracy(model, X, y) > 0.9
+
+    def test_early_stopping_respects_patience(self):
+        X, y = make_separable_data(n=40)
+        model = TinyClassifier()
+        result = fit(
+            model, X, y, epochs=200, batch_size=16, lr=5e-2,
+            rng=np.random.default_rng(0), patience=3,
+        )
+        assert result.epochs_run < 200
+
+    def test_empty_dataset_rejected(self):
+        model = TinyClassifier()
+        with pytest.raises(ValueError):
+            fit(model, np.zeros((0, 2, 3)), np.zeros(0), epochs=1, batch_size=4)
+
+    def test_model_left_in_eval_mode(self):
+        X, y = make_separable_data(n=20)
+        model = TinyClassifier()
+        fit(model, X, y, epochs=1, batch_size=8)
+        assert not model.training
+
+
+class TestEvaluateAccuracy:
+    def test_top_k_widens_hits(self):
+        X, y = make_separable_data(n=60)
+        model = TinyClassifier()
+        top1 = evaluate_accuracy(model, X, y, k=1)
+        top2 = evaluate_accuracy(model, X, y, k=2)
+        assert top2 >= top1
+        assert top2 == 1.0  # binary problem: top-2 is everything
+
+    def test_empty_returns_nan(self):
+        model = TinyClassifier()
+        assert np.isnan(evaluate_accuracy(model, np.zeros((0, 2, 3)), np.zeros(0)))
+
+
+class TestTimeSeriesSplit:
+    def test_train_always_precedes_validation(self):
+        splitter = TimeSeriesSplit(4)
+        for train_idx, val_idx in splitter.split(100):
+            assert train_idx.max() < val_idx.min()
+
+    def test_expanding_window(self):
+        sizes = [len(tr) for tr, _ in TimeSeriesSplit(3).split(40)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == 3
+
+    def test_last_fold_reaches_end(self):
+        folds = list(TimeSeriesSplit(3).split(41))
+        assert folds[-1][1][-1] == 40
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(TimeSeriesSplit(5).split(4))
+
+    def test_zero_splits_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSplit(0)
+
+
+class TestGridSearch:
+    def test_selects_plausible_configuration(self):
+        X, y = make_separable_data(n=90)
+        best, scores = grid_search(
+            lambda hidden: TinyClassifier(hidden=hidden),
+            {"hidden": [2, 8]},
+            X,
+            y,
+            n_splits=2,
+            epochs=8,
+            batch_size=16,
+            rng=np.random.default_rng(0),
+        )
+        assert best["hidden"] in (2, 8)
+        assert len(scores) == 2
+        assert all(0.0 <= score <= 1.0 for _, score in scores)

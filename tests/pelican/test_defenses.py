@@ -1,0 +1,109 @@
+"""Unit tests for the alternative output-perturbation defenses."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.models import NextLocationPredictor
+from repro.pelican import GaussianNoiseDefense, RoundingDefense, TopKOnlyDefense
+
+
+@pytest.fixture
+def predictor(tiny_corpus, tiny_general):
+    general, _, _ = tiny_general
+    return NextLocationPredictor(general, tiny_corpus.spec(SpatialLevel.BUILDING))
+
+
+@pytest.fixture
+def history(tiny_corpus):
+    uid = tiny_corpus.personal_ids[0]
+    return tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).windows[0].history
+
+
+class TestGaussianNoise:
+    def test_outputs_remain_distributions(self, predictor, history):
+        defense = GaussianNoiseDefense(predictor, sigma=0.1, seed=0)
+        probs = defense.confidences(history)
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_zero_sigma_is_identity(self, predictor, history):
+        defense = GaussianNoiseDefense(predictor, sigma=0.0)
+        np.testing.assert_allclose(
+            defense.confidences(history), predictor.confidences(history), atol=1e-12
+        )
+
+    def test_noise_perturbs_ranking_at_high_sigma(self, predictor, history):
+        clean = predictor.confidences(history)
+        defense = GaussianNoiseDefense(predictor, sigma=1.0, seed=3)
+        noisy = defense.confidences(history)
+        assert not np.allclose(clean, noisy)
+
+    def test_negative_sigma_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            GaussianNoiseDefense(predictor, sigma=-0.1)
+
+
+class TestRounding:
+    def test_quantizes(self, predictor, history):
+        defense = RoundingDefense(predictor, decimals=1)
+        probs = defense.confidences(history)
+        scaled = probs * probs.sum()
+        # Values derive from 1-decimal quantities, then renormalized.
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+        assert (np.round(defense._perturb(predictor.confidences(history)[None, :]), 9) >= 0).all()
+
+    def test_aggressive_rounding_creates_ties(self, predictor, history):
+        defense = RoundingDefense(predictor, decimals=1)
+        probs = defense.confidences(history)
+        values, counts = np.unique(probs.round(9), return_counts=True)
+        assert counts.max() >= 2  # the tail collapses to equal values
+
+    def test_all_zero_row_falls_back_to_uniform(self, predictor):
+        defense = RoundingDefense(predictor, decimals=2)
+        nearly_uniform = np.full((1, 200), 1.0 / 200)
+        out = defense._perturb(nearly_uniform)
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_negative_decimals_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            RoundingDefense(predictor, decimals=-1)
+
+
+class TestTopKOnly:
+    def test_tail_zeroed(self, predictor, history):
+        defense = TopKOnlyDefense(predictor, k=3)
+        probs = defense.confidences(history)
+        assert (probs > 0).sum() <= 3
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+
+    def test_top_k_order_preserved(self, predictor, history):
+        defense = TopKOnlyDefense(predictor, k=3)
+        clean_top = [loc for loc, _ in predictor.top_k(history, 3)]
+        defended_top = [loc for loc, _ in defense.top_k(history, 3)]
+        assert set(clean_top) == set(defended_top)
+
+    def test_service_accuracy_within_k_unchanged(self, predictor, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        _, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        X, y = test.encode()
+        defense = TopKOnlyDefense(predictor, k=3)
+        assert defense.top_k_accuracy(X, y, 3) == predictor.top_k_accuracy(X, y, 3)
+
+    def test_invalid_k_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            TopKOnlyDefense(predictor, k=0)
+
+
+class TestAttackCompatibility:
+    def test_time_based_attack_runs_through_defense(self, predictor, tiny_corpus):
+        from repro.attacks import AdversaryClass, TimeBasedAttack, attack_user, uniform_prior
+
+        uid = tiny_corpus.personal_ids[0]
+        _, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        defense = GaussianNoiseDefense(predictor, sigma=0.05)
+        prior = uniform_prior(predictor.spec.num_locations)
+        result = attack_user(
+            TimeBasedAttack(), defense, test, AdversaryClass.A1, prior, max_instances=3
+        )
+        assert len(result.outputs) == 3

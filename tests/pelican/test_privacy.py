@@ -1,0 +1,70 @@
+"""Unit tests for the privacy enhancement and leakage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models import NextLocationModel
+from repro.pelican import (
+    PrivacyReport,
+    apply_privacy,
+    confidence_sharpness,
+    leakage_reduction,
+    leakage_reduction_series,
+    remove_privacy,
+)
+
+
+class TestLeakageReduction:
+    def test_basic_percentage(self):
+        assert leakage_reduction(80.0, 40.0) == 50.0
+
+    def test_bounded_below_at_zero(self):
+        assert leakage_reduction(40.0, 80.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert leakage_reduction(0.0, 0.0) == 0.0
+
+    def test_series(self):
+        reduction = leakage_reduction_series({1: 80.0, 3: 60.0}, {1: 40.0, 3: 30.0})
+        assert reduction == {1: 50.0, 3: 50.0}
+
+    def test_series_skips_missing_keys(self):
+        reduction = leakage_reduction_series({1: 80.0, 3: 60.0}, {1: 40.0})
+        assert reduction == {1: 50.0}
+
+
+class TestPrivacyReport:
+    def test_reduction_property(self):
+        report = PrivacyReport(
+            temperature=1e-3,
+            undefended_accuracy={1: 50.0, 3: 80.0},
+            defended_accuracy={1: 25.0, 3: 40.0},
+        )
+        assert report.reduction == {1: 50.0, 3: 50.0}
+
+
+class TestApplyPrivacy:
+    def test_apply_and_remove(self, rng):
+        model = NextLocationModel(10, 4, 8, 1, 0.0, rng)
+        apply_privacy(model, 1e-2)
+        assert model.privacy_temperature == 1e-2
+        remove_privacy(model)
+        assert model.privacy_temperature == 1.0
+
+    def test_invalid_temperature_rejected(self, rng):
+        model = NextLocationModel(10, 4, 8, 1, 0.0, rng)
+        with pytest.raises(ValueError):
+            apply_privacy(model, 0.0)
+
+
+class TestSharpness:
+    def test_uniform_is_flat(self):
+        assert confidence_sharpness(np.full((5, 4), 0.25)) == 0.25
+
+    def test_saturated_is_one(self):
+        probs = np.zeros((3, 4))
+        probs[:, 0] = 1.0
+        assert confidence_sharpness(probs) == 1.0
+
+    def test_single_vector_supported(self):
+        assert confidence_sharpness(np.array([0.7, 0.2, 0.1])) == pytest.approx(0.7)

@@ -1,0 +1,71 @@
+"""Unit tests for the Pelican orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.models import GeneralModelConfig, PersonalizationConfig
+from repro.pelican import DeploymentMode, Pelican, PelicanConfig
+
+
+@pytest.fixture(scope="module")
+def pelican(tiny_corpus):
+    spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+    system = Pelican(
+        spec,
+        PelicanConfig(
+            general=GeneralModelConfig(hidden_size=16, epochs=3, patience=None),
+            personalization=PersonalizationConfig(epochs=3, patience=None),
+            privacy_temperature=1e-3,
+            deployment=DeploymentMode.LOCAL,
+        ),
+    )
+    train, _ = tiny_corpus.contributor_dataset(SpatialLevel.BUILDING).split_by_user(0.8)
+    system.initial_training(train)
+    return system
+
+
+class TestLifecycle:
+    def test_onboarding_before_training_rejected(self, tiny_corpus):
+        spec = tiny_corpus.spec(SpatialLevel.BUILDING)
+        fresh = Pelican(spec)
+        uid = tiny_corpus.personal_ids[0]
+        user_ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+        with pytest.raises(RuntimeError):
+            fresh.onboard_user(uid, user_ds)
+
+    def test_onboard_and_query(self, pelican, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        train, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        user = pelican.onboard_user(uid, train)
+        assert user.endpoint.predictor.model.privacy_temperature == 1e-3
+        top = pelican.query(uid, test.windows[0].history, k=3)
+        assert len(top) == 3
+        assert all(0 <= loc < pelican.spec.num_locations for loc, _ in top)
+
+    def test_onboard_cloud_deployment(self, pelican, tiny_corpus):
+        uid = tiny_corpus.personal_ids[1]
+        train, _ = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        user = pelican.onboard_user(uid, train, deployment=DeploymentMode.CLOUD)
+        assert user.endpoint.mode == DeploymentMode.CLOUD
+        assert pelican.channel.bytes_up > 0
+
+    def test_general_download_recorded(self, pelican):
+        downloads = [r for r in pelican.channel.records if r.direction == "down"]
+        assert downloads  # each onboarding downloads the general model
+
+    def test_update_merges_data(self, pelican, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        train, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        if uid not in pelican.users:
+            pelican.onboard_user(uid, train)
+        before_windows = len(pelican.users[uid].local_dataset)
+        refreshed = pelican.update_user(uid, test)
+        assert len(refreshed.local_dataset) == before_windows + len(test)
+        assert pelican.users[uid] is refreshed
+
+    def test_overhead_summary_keys(self, pelican):
+        summary = pelican.overhead_summary()
+        assert summary["cloud_billion_cycles"] > 0
+        assert summary["device_mean_billion_cycles"] > 0
+        assert summary["channel_bytes_down"] > 0

@@ -1,0 +1,33 @@
+"""Unit tests for the simulated device/cloud channel."""
+
+import pytest
+
+from repro.pelican import Channel
+
+
+class TestChannel:
+    def test_transfer_time_model(self):
+        channel = Channel(bandwidth_mbps=8.0, rtt_ms=100.0)
+        seconds = channel.download(b"x" * 1_000_000)  # 1 MB over 8 Mbps = 1 s
+        assert abs(seconds - (0.1 + 1.0)) < 1e-9
+
+    def test_directional_byte_accounting(self):
+        channel = Channel()
+        channel.download(b"x" * 100, label="model")
+        channel.upload(b"y" * 40, label="update")
+        channel.upload(b"z" * 10)
+        assert channel.bytes_down == 100
+        assert channel.bytes_up == 50
+        assert len(channel.records) == 3
+        assert channel.records[0].label == "model"
+
+    def test_total_seconds_accumulate(self):
+        channel = Channel(bandwidth_mbps=1.0, rtt_ms=0.0)
+        channel.download(b"x" * 125_000)  # 1 Mb / 1 Mbps = 1 s
+        channel.upload(b"x" * 125_000)
+        assert abs(channel.total_simulated_seconds - 2.0) < 1e-9
+
+    def test_invalid_bandwidth_rejected(self):
+        channel = Channel(bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            channel.download(b"x")

@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.data import load_ap_sessions
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.buildings == 40
+        assert args.output == "corpus.npz"
+
+    def test_experiment_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table3", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_corpus_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "corpus.npz"
+        code = main(
+            [
+                "corpus",
+                "--buildings", "12",
+                "--contributors", "2",
+                "--personal", "1",
+                "--days", "5",
+                "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        sessions = load_ap_sessions(out_path)
+        assert len(sessions) == 3  # 2 contributors + 1 personal
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_ids_cover_all_paper_results(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c",
+            "table3", "table4", "overhead", "fig5a", "fig5b", "fig5c",
+        }
