@@ -22,6 +22,7 @@ import numpy as np
 from repro.attacks.adversary import AttackInstance
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.predictor import NextLocationPredictor
+from repro.nn import get_default_dtype
 
 QUERY_CHUNK = 4096
 
@@ -91,6 +92,20 @@ class InversionAttack:
 # ----------------------------------------------------------------------
 # Vectorized candidate encoding
 # ----------------------------------------------------------------------
+def window_steps(*step_groups: Iterable[int]) -> List[int]:
+    """The sorted union of timestep indices across ``step_groups``.
+
+    Attack windows are defined by which steps are known and which are
+    under reconstruction; the window length follows from their union.
+    Raises if the union is not contiguous from 0 — a gapped window would
+    otherwise silently encode all-zero feature rows.
+    """
+    steps = sorted({step for group in step_groups for step in group})
+    if steps != list(range(len(steps))):
+        raise ValueError(f"window steps must be contiguous from 0, got {steps}")
+    return steps
+
+
 def encode_candidates(
     spec: FeatureSpec,
     known: Dict[int, SessionFeatures],
@@ -103,8 +118,12 @@ def encode_candidates(
     ``candidate_features[step]`` maps feature name (``entry``, ``duration``,
     ``location``) to an ``(n,)`` integer array of bin/class indices for the
     missing timestep ``step``; known timesteps are filled from ``known``.
+
+    The window length is derived from the supplied steps (not hardcoded),
+    so multi-step windows encode without truncation.
     """
-    batch = np.zeros((n, 2, spec.width))
+    num_steps = len(window_steps(known, candidate_features))
+    batch = np.zeros((n, num_steps, spec.width), dtype=get_default_dtype())
     for step, features in known.items():
         batch[:, step, :] = spec.encode(features)[None, :]
     rows = np.arange(n)

@@ -24,7 +24,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.attacks.adversary import AttackInstance
-from repro.attacks.base import InversionAttack, Reconstruction
+from repro.attacks.base import InversionAttack, Reconstruction, window_steps
 from repro.data.features import FeatureSpec
 from repro.models.predictor import NextLocationPredictor
 from repro.nn import Adam, CrossEntropyLoss, Parameter, Tensor, concat, softmax
@@ -87,6 +87,10 @@ class GradientDescentAttack(InversionAttack):
         day_row[0, instance.day_of_week] = 1.0
         day_tensor = Tensor(day_row)
 
+        # The window length comes from the instance, not a hardcoded
+        # constant: A3-style multi-step windows must not silently truncate.
+        steps = window_steps(instance.known, instance.missing)
+
         params = [p for step_vars in variables.values() for p in step_vars.values()]
         optimizer = Adam(params, lr=cfg.learning_rate)
         loss_fn = CrossEntropyLoss()
@@ -95,25 +99,37 @@ class GradientDescentAttack(InversionAttack):
         temperatures = np.geomspace(
             cfg.start_temperature, cfg.end_temperature, cfg.iterations
         )
+        # Only the attack variables are optimized; freezing the model's
+        # parameters for the loop lets the fused backward skip every
+        # weight-gradient GEMM (iterations x instances of dead work).
+        # Flags are restored exactly — personalized models are partially
+        # frozen already.
+        saved_flags = [(p, p.requires_grad) for p in model.parameters()]
+        for p, _ in saved_flags:
+            p.requires_grad = False
         queries = 0
-        for temperature in temperatures:
-            optimizer.zero_grad()
-            rows = []
-            for step in range(2):
-                if step in variables:
-                    soft = [
-                        softmax(variables[step][name], axis=-1, temperature=float(temperature))
-                        for name in ("entry", "duration", "location")
-                    ]
-                    rows.append(concat([*soft, day_tensor], axis=-1))
-                else:
-                    rows.append(known_rows[step])
-            window = concat([r.reshape(1, 1, spec.width) for r in rows], axis=1)
-            logits = model(window)
-            loss = loss_fn(logits, target)
-            loss.backward()
-            optimizer.step()
-            queries += 1
+        try:
+            for temperature in temperatures:
+                optimizer.zero_grad()
+                rows = []
+                for step in steps:
+                    if step in variables:
+                        soft = [
+                            softmax(variables[step][name], axis=-1, temperature=float(temperature))
+                            for name in ("entry", "duration", "location")
+                        ]
+                        rows.append(concat([*soft, day_tensor], axis=-1))
+                    else:
+                        rows.append(known_rows[step])
+                window = concat([r.reshape(1, 1, spec.width) for r in rows], axis=1)
+                logits = model(window)
+                loss = loss_fn(logits, target)
+                loss.backward()
+                optimizer.step()
+                queries += 1
+        finally:
+            for p, flag in saved_flags:
+                p.requires_grad = flag
 
         reconstructions: Dict[int, Reconstruction] = {}
         for step, step_vars in variables.items():

@@ -21,6 +21,7 @@ from repro.attacks.adversary import AdversaryClass, AttackInstance, build_instan
 from repro.attacks.base import AttackOutput, InversionAttack
 from repro.data.dataset import SequenceDataset
 from repro.models.predictor import NextLocationPredictor
+from repro.nn import dtype_policy
 
 
 @dataclass
@@ -85,13 +86,21 @@ def attack_user(
     prior: np.ndarray,
     max_instances: Optional[int] = None,
 ) -> UserAttackResult:
-    """Attack every (or the first ``max_instances``) window of one user."""
+    """Attack every (or the first ``max_instances``) window of one user.
+
+    Attacks run under the dtype policy of the model they target
+    (DESIGN.md §5): candidate batches and gradient-attack variables are
+    then created in the model's precision, so a float32-configured
+    pipeline keeps its precision/speed benefit on the attack hot path.
+    """
     selected = windows.windows[:max_instances] if max_instances else windows.windows
     instances = build_instances(list(selected), adversary)
     user_id = selected[0].user_id if selected else -1
     result = UserAttackResult(user_id=user_id)
-    for instance in instances:
-        result.outputs.append(attack.run(instance, predictor, prior))
+    model_dtype = next(iter(predictor.model.parameters())).data.dtype
+    with dtype_policy(model_dtype):
+        for instance in instances:
+            result.outputs.append(attack.run(instance, predictor, prior))
     return result
 
 

@@ -29,6 +29,10 @@ class ExperimentScale:
     attack_instances_per_user: int
     max_attack_users: int
     ks: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+    dtype: str = "float64"
+    """Engine-wide floating dtype (DESIGN.md §5).  ``"float32"`` halves
+    memory traffic on every GEMM; the reproduced rankings are robust to it,
+    but the committed reference numbers are regenerated in float64."""
 
     @classmethod
     def tiny(cls, seed: int = 11) -> "ExperimentScale":

@@ -24,6 +24,7 @@ from repro.models.architecture import NextLocationModel
 from repro.models.general import train_general_model
 from repro.models.personalize import PersonalizationMethod, personalize
 from repro.models.predictor import NextLocationPredictor
+from repro.nn import dtype_policy
 
 
 @dataclass
@@ -89,10 +90,15 @@ class Pipeline:
     ) -> Tuple[NextLocationModel, SequenceDataset, SequenceDataset]:
         """The general model plus its pooled train/test splits."""
         if level not in self._general:
-            pooled = self.corpus.contributor_dataset(level)
-            train, test = pooled.split_by_user(0.8)
-            rng = np.random.default_rng(self.scale.corpus.seed + 100)
-            model, _ = train_general_model(train, self.scale.general, rng)
+            # Models are built lazily under a SCOPED dtype policy: each
+            # pipeline's artifacts get its own dtype without leaking the
+            # policy into ambient code (parameters are cast at creation
+            # time, DESIGN.md §5).
+            with dtype_policy(self.scale.dtype):
+                pooled = self.corpus.contributor_dataset(level)
+                train, test = pooled.split_by_user(0.8)
+                rng = np.random.default_rng(self.scale.corpus.seed + 100)
+                model, _ = train_general_model(train, self.scale.general, rng)
             self._general[level] = (model, train, test)
         return self._general[level]
 
@@ -117,9 +123,10 @@ class Pipeline:
             if train_weeks is not None:
                 train = train.limit_weeks(train_weeks)
             rng = np.random.default_rng(self.scale.corpus.seed + 1000 + user_id)
-            model, _ = personalize(
-                general_model, train, method, self.scale.personalization, rng
-            )
+            with dtype_policy(self.scale.dtype):
+                model, _ = personalize(
+                    general_model, train, method, self.scale.personalization, rng
+                )
             self._personal[key] = PersonalArtifact(
                 user_id=user_id, level=level, method=method, model=model, train=train, test=test
             )

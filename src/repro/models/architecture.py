@@ -19,7 +19,18 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn import LSTM, Linear, Module, TemperatureScaling, Tensor, as_tensor
+from repro.nn import (
+    LSTM,
+    Linear,
+    Module,
+    TemperatureScaling,
+    Tensor,
+    as_tensor,
+    dtype_policy,
+    lstm_infer_last,
+    no_grad,
+    profiler,
+)
 
 
 class NextLocationModel(Module):
@@ -58,7 +69,10 @@ class NextLocationModel(Module):
         """Append the TL-FE surplus LSTM layer (Fig 1b)."""
         if self.extra is not None:
             raise ValueError("surplus LSTM already present")
-        self.extra = LSTM(self.hidden_size, self.hidden_size, 1, rng, dropout=0.0)
+        self.extra = LSTM(
+            self.hidden_size, self.hidden_size, 1, rng, dropout=0.0,
+            backend=self.lstm.backend,
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         """Return logits of shape ``(batch, num_locations)``.
@@ -73,6 +87,69 @@ class NextLocationModel(Module):
         last = hidden[:, hidden.shape[1] - 1, :]
         logits = self.head(last)
         return self.privacy(logits)
+
+    # ------------------------------------------------------------------
+    # Graph-free batched inference (DESIGN.md §3)
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The LSTM execution backend (``"fused"`` or ``"reference"``)."""
+        return self.lstm.backend
+
+    def set_backend(self, backend: str) -> None:
+        """Switch every LSTM stack (and the inference path) between the
+        fused kernel and the reference per-timestep graph."""
+        self.lstm.backend = backend
+        if self.extra is not None:
+            self.extra.backend = backend
+
+    def infer_logits(self, batch: np.ndarray) -> np.ndarray:
+        """Eval-mode logits for a pre-encoded numpy batch, graph-free.
+
+        The fast path for black-box attack queries and evaluation: runs
+        the fused inference kernels end to end without any autograd
+        bookkeeping.  The privacy layer's temperature scaling is applied
+        exactly as in graph-mode eval.  On the reference backend this
+        falls back to the graph under :class:`~repro.nn.tensor.no_grad`,
+        so backend parity extends to inference (under a matching dtype
+        policy — graph ops always run in the engine's policy dtype).
+        """
+        self.eval()
+        if self.lstm.backend != "fused":
+            with no_grad():
+                return self.forward(Tensor(batch)).numpy()
+        # The fused kernel casts queries to the weights' dtype, so a model
+        # built under one policy keeps answering correctly after the
+        # policy changes.
+        x = np.asarray(batch, dtype=self.head.weight.data.dtype)
+        cells = list(self.lstm.cells) + (list(self.extra.cells) if self.extra is not None else [])
+        last = lstm_infer_last(
+            x, [(c.weight_ih.data, c.weight_hh.data, c.bias.data) for c in cells]
+        )
+        logits = last @ self.head.weight.data + self.head.bias.data
+        profiler.record_gemm(last.shape[0], last.shape[1], self.head.out_features)
+        if self.privacy.temperature != 1.0:
+            logits = logits / self.privacy.temperature
+        return logits
+
+    def infer_confidences(self, batch: np.ndarray) -> np.ndarray:
+        """Softmax confidences fused into the final projection.
+
+        One pass: LSTM inference kernel -> linear head -> temperature
+        scaling -> stable softmax, all on numpy arrays.  This is what the
+        enumeration attacks' batched confidence queries hit.
+        """
+        probs = self.infer_logits(batch)
+        probs -= probs.max(axis=-1, keepdims=True)
+        np.exp(probs, out=probs)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        return probs
+
+    def infer_log_confidences(self, batch: np.ndarray) -> np.ndarray:
+        """Log-space confidences (precision-safe under the privacy layer)."""
+        logits = self.infer_logits(batch)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
     # ------------------------------------------------------------------
     # Privacy controls (Pelican §V-B)
@@ -98,10 +175,17 @@ class NextLocationModel(Module):
         return clone
 
     def copy(self, rng: np.random.Generator) -> "NextLocationModel":
-        """A deep copy (same weights, independent parameters)."""
-        clone = self.clone_architecture(rng)
-        if self.extra is not None:
-            clone.add_surplus_lstm(rng)
-        clone.load_state_dict(self.state_dict())
+        """A deep copy (same weights, same dtype, independent parameters).
+
+        The clone is built under the source model's dtype policy so a
+        float32 model copied under an ambient float64 policy (or vice
+        versa) is not silently re-typed.
+        """
+        with dtype_policy(self.head.weight.data.dtype):
+            clone = self.clone_architecture(rng)
+            if self.extra is not None:
+                clone.add_surplus_lstm(rng)
+            clone.load_state_dict(self.state_dict())
         clone.set_privacy_temperature(self.privacy_temperature)
+        clone.set_backend(self.backend)
         return clone

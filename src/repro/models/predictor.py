@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.architecture import NextLocationModel
-from repro.nn import Tensor, no_grad, softmax_np, top_k_indices
+from repro.nn import top_k_indices
 
 
 class NextLocationPredictor:
@@ -40,13 +40,18 @@ class NextLocationPredictor:
         return self.confidences_encoded(encoded)[0]
 
     def confidences_encoded(self, batch: np.ndarray) -> np.ndarray:
-        """Confidences for a pre-encoded batch of shape ``(n, 2, width)``.
+        """Confidences for a pre-encoded batch of shape ``(n, steps, width)``.
 
         The model runs in eval mode, so the privacy layer's temperature
         scaling (if configured) is applied to the logits before softmax —
-        the adversary only ever sees post-privacy confidences.
+        the adversary only ever sees post-privacy confidences.  Queries go
+        through the model's graph-free inference kernel (DESIGN.md §3),
+        which fuses the softmax into the final projection — no autograd
+        graph is ever built for black-box queries.
         """
-        return softmax_np(self._scaled_logits(batch), axis=-1)
+        probs = self.model.infer_confidences(batch)
+        self.query_count += len(batch)
+        return probs
 
     def log_confidences_encoded(self, batch: np.ndarray) -> np.ndarray:
         """Log-space confidences: full precision under the privacy layer.
@@ -58,16 +63,9 @@ class NextLocationPredictor:
         while attack code observes the linear-space (saturating)
         :meth:`confidences_encoded`.
         """
-        logits = self._scaled_logits(batch)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-
-    def _scaled_logits(self, batch: np.ndarray) -> np.ndarray:
-        self.model.eval()
-        with no_grad():
-            logits = self.model(Tensor(batch)).numpy()
+        out = self.model.infer_log_confidences(batch)
         self.query_count += len(batch)
-        return logits
+        return out
 
     def top_k(self, history: Sequence[SessionFeatures], k: int) -> List[Tuple[int, float]]:
         """The service's API: top-k next locations with confidences.

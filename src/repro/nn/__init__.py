@@ -5,8 +5,16 @@ autograd, LSTM/Linear/Dropout layers, Adam/SGD optimizers, checkpointing,
 and FLOP accounting for the Pelican overhead experiments.
 """
 
-from repro.nn import profiler
-from repro.nn.functional import log_softmax, one_hot, softmax, softmax_np, top_k_indices
+from repro.nn import fused, profiler
+from repro.nn.functional import (
+    log_softmax,
+    one_hot,
+    softmax,
+    softmax_cross_entropy,
+    softmax_np,
+    top_k_indices,
+)
+from repro.nn.fused import lstm_backward, lstm_forward, lstm_infer, lstm_infer_last
 from repro.nn.layers import Dropout, Linear, Sequential, TemperatureScaling
 from repro.nn.losses import CrossEntropyLoss, NLLLoss
 from repro.nn.lstm import LSTM, LSTMCell
@@ -19,7 +27,18 @@ from repro.nn.serialization import (
     save_module,
     serialize_state,
 )
-from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, ones, stack, zeros
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    dtype_policy,
+    get_default_dtype,
+    no_grad,
+    ones,
+    set_default_dtype,
+    stack,
+    zeros,
+)
 from repro.nn.train import (
     FitResult,
     TimeSeriesSplit,
@@ -52,19 +71,28 @@ __all__ = [
     "clip_grad_norm",
     "concat",
     "deserialize_state",
+    "dtype_policy",
     "evaluate_accuracy",
     "fit",
+    "fused",
+    "get_default_dtype",
     "grid_search",
     "iterate_minibatches",
     "load_module",
     "log_softmax",
+    "lstm_backward",
+    "lstm_forward",
+    "lstm_infer",
+    "lstm_infer_last",
     "no_grad",
     "one_hot",
     "ones",
     "profiler",
     "save_module",
     "serialize_state",
+    "set_default_dtype",
     "softmax",
+    "softmax_cross_entropy",
     "softmax_np",
     "stack",
     "top_k_indices",

@@ -15,7 +15,41 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.tensor import Tensor, as_tensor, get_default_dtype
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Fused ``softmax + cross-entropy``: one autograd node (DESIGN.md §3).
+
+    Computes the mean cross-entropy between ``(batch, classes)`` logits and
+    integer class targets with the stable log-sum-exp trick, and registers
+    a single node whose backward is the closed form
+    ``(softmax(logits) - one_hot(targets)) / batch`` — replacing the ~6
+    graph nodes the unfused ``log_softmax`` + gather + mean chain builds on
+    every training step.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, classes); got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with batch {logits.shape[0]}"
+        )
+    z = logits.data
+    batch = z.shape[0]
+    shifted = z - z.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    picked = log_probs[np.arange(batch), targets]
+    loss = np.asarray(-picked.mean(), dtype=z.dtype)
+
+    def backward(grad: np.ndarray):
+        g = np.exp(log_probs)
+        g[np.arange(batch), targets] -= 1.0
+        g *= grad / batch
+        return (g,)
+
+    return Tensor._make(loss, (logits,), backward)
 
 
 def softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
@@ -49,7 +83,10 @@ def softmax_np(logits: np.ndarray, axis: int = -1, temperature: float = 1.0) -> 
     """Pure-numpy temperature softmax for inference-only paths."""
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
-    scaled = np.asarray(logits, dtype=np.float64) / temperature
+    arr = np.asarray(logits)
+    if arr.dtype.kind != "f":
+        arr = arr.astype(get_default_dtype())
+    scaled = arr / temperature
     shifted = scaled - scaled.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -72,7 +109,7 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
             f"indices out of range [0, {num_classes}): "
             f"min={indices.min()}, max={indices.max()}"
         )
-    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=get_default_dtype())
     np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
     return out
 

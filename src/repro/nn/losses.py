@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import log_softmax
+from repro.nn.functional import softmax_cross_entropy
 from repro.nn.tensor import Tensor, as_tensor
 
 
@@ -12,22 +12,14 @@ class CrossEntropyLoss:
     """Mean cross-entropy between logits and integer class targets.
 
     Combines log-softmax and negative log-likelihood in one numerically
-    stable op, like ``torch.nn.CrossEntropyLoss``.
+    stable op, like ``torch.nn.CrossEntropyLoss``.  Dispatches to the
+    fused :func:`~repro.nn.functional.softmax_cross_entropy` node, which
+    registers a single autograd node with a closed-form backward instead
+    of a chain of elementwise graph nodes.
     """
 
     def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
-        logits = as_tensor(logits)
-        targets = np.asarray(targets, dtype=np.int64)
-        if logits.ndim != 2:
-            raise ValueError(f"logits must be (batch, classes); got {logits.shape}")
-        if targets.shape != (logits.shape[0],):
-            raise ValueError(
-                f"targets shape {targets.shape} incompatible with batch {logits.shape[0]}"
-            )
-        log_probs = log_softmax(logits, axis=-1)
-        batch = logits.shape[0]
-        picked = log_probs[np.arange(batch), targets]
-        return -picked.mean()
+        return softmax_cross_entropy(logits, targets)
 
 
 class NLLLoss:

@@ -6,6 +6,14 @@ time step) and :class:`LSTM` (multi-layer, batch-first sequence runner) with
 exact reverse-mode gradients supplied by the ``repro.nn`` autograd engine —
 including gradients with respect to the *input sequence*, which the
 gradient-descent inversion attack requires.
+
+:class:`LSTM` has two execution backends (DESIGN.md §3):
+
+* ``"fused"`` (default) — the batched kernel in :mod:`repro.nn.fused`: one
+  autograd node per call, hand-written BPTT, input projection hoisted out
+  of the time loop.
+* ``"reference"`` — the original per-timestep :class:`LSTMCell` graph, kept
+  as the executable specification the fused path is tested against.
 """
 
 from __future__ import annotations
@@ -14,9 +22,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn import fused
 from repro.nn import init as initializers
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor, stack
+
+BACKENDS = ("fused", "reference")
 
 
 class LSTMCell(Module):
@@ -87,29 +98,59 @@ class LSTM(Module):
         num_layers: int,
         rng: np.random.Generator,
         dropout: float = 0.0,
+        backend: str = "fused",
     ) -> None:
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
         self.dropout_p = dropout
+        self.backend = backend
         self._rng = rng
         self.cells: List[LSTMCell] = [
             LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
             for layer in range(num_layers)
         ]
 
+    def _layer_params(self):
+        return [(cell.weight_ih, cell.weight_hh, cell.bias) for cell in self.cells]
+
     def forward(
-        self, x: Tensor, state: Optional[List[Tuple[Tensor, Tensor]]] = None
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+        backend: Optional[str] = None,
     ) -> Tensor:
-        """Run the full sequence; return top-layer hidden states per step."""
+        """Run the full sequence; return top-layer hidden states per step.
+
+        ``backend`` overrides the instance default for this call — the
+        parity test suite runs the same weights through both paths.
+        """
         x = as_tensor(x)
         if x.ndim != 3:
             raise ValueError(f"LSTM expects (batch, seq, features); got shape {x.shape}")
         batch, seq_len, _ = x.shape
-        states = state or [cell.initial_state(batch) for cell in self.cells]
+        backend = backend if backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if backend == "fused":
+            # Pass ``state`` through unchanged: ``None`` lets the kernel use
+            # implicit zeros and skip the zero-contribution t=0 GEMMs.
+            return fused.lstm_forward(
+                x,
+                self._layer_params(),
+                state,
+                dropout_p=self.dropout_p,
+                training=self.training,
+                rng=self._rng,
+            )
+        # Copy: the per-layer running state is updated in place below and
+        # must not clobber a caller-supplied list.
+        states = list(state) if state else [cell.initial_state(batch) for cell in self.cells]
 
         layer_input = [x[:, t, :] for t in range(seq_len)]
         for layer_idx, cell in enumerate(self.cells):
@@ -127,6 +168,16 @@ class LSTM(Module):
             layer_input = outputs
         return stack(layer_input, axis=1)
 
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free eval-mode forward over a numpy batch (fused kernel).
+
+        The inference fast path for black-box queries and evaluation: no
+        autograd bookkeeping and no dropout, regardless of training mode.
+        """
+        return fused.lstm_infer(
+            x, [(c.weight_ih.data, c.weight_hh.data, c.bias.data) for c in self.cells]
+        )
+
     def last_hidden(self, x: Tensor) -> Tensor:
         """Convenience: run the sequence and return the final hidden state."""
         out = self.forward(x)
@@ -135,5 +186,6 @@ class LSTM(Module):
     def __repr__(self) -> str:
         return (
             f"LSTM(in={self.input_size}, hidden={self.hidden_size}, "
-            f"layers={self.num_layers}, dropout={self.dropout_p})"
+            f"layers={self.num_layers}, dropout={self.dropout_p}, "
+            f"backend={self.backend})"
         )

@@ -140,7 +140,9 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            # Checkpoints adopt the RECEIVING parameter's dtype, so loading
+            # never silently re-types a model built under another policy.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: "

@@ -93,27 +93,44 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
         self._t: Dict[int, int] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
 
     def _update(self, param: Parameter, grad: np.ndarray) -> None:
         key = id(param)
         m = self._m.get(key)
         v = self._v.get(key)
+        scratch = self._scratch.get(key)
         if m is None:
-            m = np.zeros_like(param.data)
-            v = np.zeros_like(param.data)
+            m = self._m[key] = np.zeros_like(param.data)
+            v = self._v[key] = np.zeros_like(param.data)
+            scratch = self._scratch[key] = np.empty_like(param.data)
         t = self._t.get(key, 0) + 1
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * grad**2
-        self._m[key], self._v[key], self._t[key] = m, v, t
-        m_hat = m / (1 - self.beta1**t)
-        v_hat = v / (1 - self.beta2**t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._t[key] = t
+        # In-place moment updates: the optimizer runs once per mini-batch
+        # over every parameter, so avoiding fresh MB-sized temporaries on
+        # each step matters as much here as in the LSTM kernels.
+        m *= self.beta1
+        np.multiply(grad, 1 - self.beta1, out=scratch)
+        m += scratch
+        v *= self.beta2
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1 - self.beta2
+        v += scratch
+        # update = lr * m_hat / (sqrt(v_hat) + eps), computed in scratch.
+        np.divide(v, 1 - self.beta2**t, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.eps
+        np.divide(m, scratch, out=scratch)
+        scratch *= self.lr / (1 - self.beta1**t)
+        param.data -= scratch
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Clip global gradient norm in place; returns the pre-clip norm."""
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = float(
+        np.sqrt(sum(float(np.dot(g, g)) for p in params for g in (p.grad.ravel(),)))
+    )
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

@@ -3,10 +3,18 @@
 The paper reports the cost of cloud-based general-model training versus
 device-based personalization in *CPU cycles* (≈43,000 billion vs ≈15 billion)
 and wall-clock time.  We cannot reproduce the authors' hardware, so we count
-multiply-accumulate operations (MACs) at the ``matmul`` boundary — the
-dominant cost of LSTM training — and convert them to cycle estimates with a
-configurable cycles-per-MAC factor.  Ratios between phases are hardware
-independent, which is what the paper's claim rests on.
+multiply-accumulate operations (MACs) — the dominant cost of LSTM training —
+and convert them to cycle estimates with a configurable cycles-per-MAC
+factor.  Ratios between phases are hardware independent, which is what the
+paper's claim rests on.
+
+Counting happens at two boundaries: the autograd engine reports every
+:class:`Tensor` matmul via :func:`record_matmul`, and the fused LSTM
+kernels (which run GEMMs directly on numpy arrays, bypassing the tensor
+graph) report each GEMM via :func:`record_gemm`.  Each backend reports
+the GEMMs it actually executes: on a workload where nothing is skippable
+the totals are identical, while the fused path's dead-gradient/zero-state
+skips (DESIGN.md §3) honestly show up as smaller counts.
 
 Usage::
 
@@ -59,6 +67,19 @@ class FlopCounter:
             self.macs += batch * a_shape[-2] * a_shape[-1] * b_shape[-1]
         self.matmul_calls += 1
 
+    def add_gemm(self, m: int, k: int, n: int, batch: int = 1) -> None:
+        """Record one ``(batch, m, k) @ (k, n)`` GEMM by its dimensions.
+
+        Used by the fused LSTM kernels, which perform matmuls directly on
+        numpy arrays and therefore bypass the :class:`Tensor` matmul
+        boundary.  When nothing is skippable the fused and reference paths
+        report identical MAC totals (asserted in the fused-LSTM test
+        suite); where the fused path skips dead GEMMs it reports the
+        smaller count it actually executed.
+        """
+        self.macs += batch * m * k * n
+        self.matmul_calls += 1
+
     def stop(self) -> None:
         self.stopped_at = time.perf_counter()
 
@@ -79,6 +100,12 @@ def record_matmul(a_shape: Tuple[int, ...], b_shape: Tuple[int, ...]) -> None:
     """Called by the autograd engine on every matmul; cheap when inactive."""
     for counter in _ACTIVE_COUNTERS:
         counter.add_matmul(a_shape, b_shape)
+
+
+def record_gemm(m: int, k: int, n: int, batch: int = 1) -> None:
+    """Called by fused kernels on every GEMM they issue; cheap when inactive."""
+    for counter in _ACTIVE_COUNTERS:
+        counter.add_gemm(m, k, n, batch)
 
 
 @contextmanager

@@ -31,6 +31,52 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 # avoid building graphs; mirrors ``torch.no_grad``.
 _GRAD_ENABLED = True
 
+# The engine-wide floating dtype (DESIGN.md §5).  Every tensor the engine
+# creates is stored in this dtype, so flipping it runs the whole substrate —
+# training, attacks, inference — in float32 instead of the float64 default.
+_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the engine-wide floating dtype; returns the previous one.
+
+    Only ``float32`` and ``float64`` are supported.  Set the policy *before*
+    constructing models: parameters are cast at creation time, and mixing
+    dtypes across a model silently upcasts on every op.
+    """
+    global _DEFAULT_DTYPE
+    dt = np.dtype(dtype)
+    if dt.kind != "f" or dt.itemsize not in (4, 8):
+        raise ValueError(f"default dtype must be float32 or float64, got {dt}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = dt
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the engine-wide floating dtype."""
+    return _DEFAULT_DTYPE
+
+
+class dtype_policy:
+    """Context manager scoping :func:`set_default_dtype`.
+
+    Example::
+
+        with dtype_policy(np.float32):
+            model = NextLocationModel(...)   # float32 end to end
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+
+    def __enter__(self) -> "dtype_policy":
+        self._prev = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_default_dtype(self._prev)
+
 
 class no_grad:
     """Context manager that disables graph construction.
@@ -77,7 +123,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
+    arr = np.asarray(value, dtype=_DEFAULT_DTYPE)
     return arr
 
 
@@ -87,7 +133,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array data (copied to ``float64`` ndarray if necessary).
+        Array data (cast to the engine's default floating dtype — see
+        :func:`set_default_dtype` — if necessary).
     requires_grad:
         Whether gradients should be accumulated into this tensor.
 
@@ -183,7 +230,7 @@ class Tensor:
                     f"got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
 
@@ -193,8 +240,10 @@ class Tensor:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
-            node._accumulate(node_grad)
             if node._backward is None:
+                # Leaf: retain the gradient.  Interior nodes only relay
+                # gradients (PyTorch semantics), avoiding a copy per node.
+                node._accumulate(node_grad)
                 continue
             parent_grads = node._backward(node_grad)
             for parent, pgrad in zip(node._parents, parent_grads):
@@ -423,10 +472,18 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        # Basic indexing (ints/slices only) selects each element at most
+        # once, so scatter-add can be a direct ``+=``; ``np.add.at`` is only
+        # required for fancy indices, which may repeat elements.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, np.integer, slice, type(None), type(Ellipsis))) for p in parts)
 
         def backward(grad: np.ndarray):
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if basic:
+                full[index] += grad
+            else:
+                np.add.at(full, index, grad)
             return (full,)
 
         return Tensor._make(data, (self,), backward)

@@ -115,8 +115,12 @@ def evaluate_accuracy(model: Module, inputs: np.ndarray, targets: np.ndarray, k:
         return float("nan")
     was_training = model.training
     model.eval()
-    with no_grad():
-        logits = model(Tensor(inputs)).numpy()
+    if hasattr(model, "infer_logits"):
+        # Graph-free fused inference kernel (DESIGN.md §3).
+        logits = model.infer_logits(inputs)
+    else:
+        with no_grad():
+            logits = model(Tensor(inputs)).numpy()
     if was_training:
         model.train()
     top = top_k_indices(logits, k, axis=-1)

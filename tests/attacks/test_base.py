@@ -96,3 +96,16 @@ class TestRankLocations:
         prior = np.full(10, 0.1)
         ranked, _ = rank_locations(locations, scores, prior)
         assert set(ranked) == {4, 7}
+
+
+def test_encode_candidates_rejects_gap_windows():
+    import numpy as np
+    import pytest
+    from repro.attacks.base import encode_candidates
+    from repro.data import FeatureSpec, SessionFeatures
+
+    spec = FeatureSpec(num_locations=5)
+    known = {0: SessionFeatures(entry_bin=1, duration_bin=1, location=1, day_of_week=0)}
+    grids = {2: {"entry": np.zeros(3, dtype=int), "duration": np.zeros(3, dtype=int), "location": np.arange(3)}}
+    with pytest.raises(ValueError, match="contiguous"):
+        encode_candidates(spec, known, grids, day_of_week=0, n=3)

@@ -86,3 +86,30 @@ class TestCopy:
         fresh = model.clone_architecture(np.random.default_rng(123))
         assert fresh.input_width == model.input_width
         assert not np.allclose(fresh.head.weight.data, model.head.weight.data)
+
+
+class TestBackendPropagation:
+    def test_surplus_lstm_inherits_backend(self, rng):
+        from repro.models.architecture import NextLocationModel
+
+        model = NextLocationModel(
+            input_width=10, num_locations=4, hidden_size=6, num_layers=2,
+            dropout=0.0, rng=rng,
+        )
+        model.set_backend("reference")
+        model.add_surplus_lstm(rng)
+        assert model.extra.backend == "reference"
+        model.set_backend("fused")
+        assert model.extra.backend == "fused" and model.lstm.backend == "fused"
+
+    def test_copy_preserves_backend(self, rng):
+        from repro.models.architecture import NextLocationModel
+        import numpy as np
+
+        model = NextLocationModel(
+            input_width=10, num_locations=4, hidden_size=6, num_layers=2,
+            dropout=0.0, rng=rng,
+        )
+        model.set_backend("reference")
+        clone = model.copy(np.random.default_rng(0))
+        assert clone.backend == "reference"

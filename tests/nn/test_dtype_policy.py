@@ -1,0 +1,112 @@
+"""Tests for the engine-wide dtype policy (DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Adam,
+    CrossEntropyLoss,
+    Linear,
+    Tensor,
+    dtype_policy,
+    fit,
+    get_default_dtype,
+    one_hot,
+    set_default_dtype,
+)
+
+
+class TestPolicy:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_context_manager_scopes_and_restores(self):
+        with dtype_policy("float32"):
+            assert get_default_dtype() == np.dtype(np.float32)
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with dtype_policy("float32"):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_rejects_non_float_dtypes(self):
+        for bad in ("int64", "float16", "complex128"):
+            with pytest.raises(ValueError, match="float32 or float64"):
+                set_default_dtype(bad)
+
+    def test_one_hot_follows_policy(self):
+        with dtype_policy("float32"):
+            assert one_hot(np.array([1, 0]), 3).dtype == np.float32
+
+
+class TestFloat32EndToEnd:
+    def test_ops_stay_float32(self):
+        with dtype_policy("float32"):
+            a = Tensor(np.ones((2, 3)), requires_grad=True)
+            b = Tensor(np.ones((3, 4)))
+            out = (a @ b).tanh().sum()
+            out.backward()
+            assert out.data.dtype == np.float32
+            assert a.grad.dtype == np.float32
+
+    def test_training_step_runs_in_float32(self):
+        with dtype_policy("float32"):
+            rng = np.random.default_rng(0)
+            lstm = LSTM(5, 8, 2, rng, dropout=0.0)
+            head = Linear(8, 3, rng)
+            x = Tensor(rng.normal(size=(4, 2, 5)).astype(np.float32))
+            y = np.array([0, 1, 2, 1])
+            params = lstm.parameters() + head.parameters()
+            opt = Adam(params, lr=1e-2)
+            loss_fn = CrossEntropyLoss()
+            losses = []
+            for _ in range(5):
+                opt.zero_grad()
+                out = lstm(x)
+                loss = loss_fn(head(out[:, out.shape[1] - 1, :]), y)
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+            assert all(np.isfinite(losses))
+            assert losses[-1] < losses[0]
+            assert all(p.data.dtype == np.float32 for p in params)
+            assert all(p.grad.dtype == np.float32 for p in params)
+
+    def test_fit_helper_in_float32(self):
+        """The high-level fit loop works end to end under the policy."""
+        from repro.nn import Module
+
+        class TinyNet(Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.lstm = LSTM(4, 6, 1, rng, dropout=0.0)
+                self.head = Linear(6, 2, rng)
+
+            def forward(self, x):
+                hidden = self.lstm(x)
+                return self.head(hidden[:, hidden.shape[1] - 1, :])
+
+        with dtype_policy(np.float32):
+            rng = np.random.default_rng(1)
+            model = TinyNet(rng)
+            X = rng.normal(size=(12, 2, 4))
+            y = rng.integers(0, 2, size=12)
+            result = fit(model, X, y, epochs=2, batch_size=4, rng=rng)
+            assert np.isfinite(result.train_losses).all()
+
+    def test_state_dict_round_trip_casts(self):
+        rng = np.random.default_rng(2)
+        model64 = Linear(3, 2, rng)
+        state = model64.state_dict()
+        with dtype_policy("float32"):
+            model32 = Linear(3, 2, np.random.default_rng(3))
+            model32.load_state_dict(state)
+            assert all(p.data.dtype == np.float32 for p in model32.parameters())
+            np.testing.assert_allclose(
+                model32.weight.data, state["weight"].astype(np.float32)
+            )
