@@ -31,7 +31,12 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_TARGET = str(BENCH_DIR / "test_nn_microbench.py")
+# The quick suite: nn micro-benchmarks plus the fleet serving comparison
+# (both run in seconds; the experiment-regeneration targets need --full).
+DEFAULT_TARGETS = [
+    str(BENCH_DIR / "test_nn_microbench.py"),
+    str(BENCH_DIR / "test_fleet_serving.py"),
+]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_nn.json"
 
@@ -93,7 +98,7 @@ def main() -> int:
         "--targets",
         nargs="*",
         default=None,
-        help="explicit pytest targets (default: the nn micro-benchmarks)",
+        help="explicit pytest targets (default: nn micro-benchmarks + fleet serving)",
     )
     parser.add_argument(
         "--baseline",
@@ -108,7 +113,7 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    targets = args.targets or ([str(BENCH_DIR)] if args.full else [DEFAULT_TARGET])
+    targets = args.targets or ([str(BENCH_DIR)] if args.full else DEFAULT_TARGETS)
     rc = run_pytest(targets, OUTPUT_PATH)
     if rc != 0:
         return rc

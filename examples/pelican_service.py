@@ -1,29 +1,43 @@
 #!/usr/bin/env python3
-"""A location-aware mobile service running on the full Pelican framework.
+"""A location-aware mobile service running on the full Pelican framework,
+served at fleet scale.
 
 Simulates the scenario from the paper's introduction: a restaurant/route
 recommendation service that pre-fetches content for the user's *predicted
 next location*.  The service provider is honest-but-curious: it serves
 recommendations but would love to reconstruct where users have been.
 
-This example exercises every Pelican phase (paper Fig 4):
+This example exercises every Pelican phase (paper Fig 4) through the
+fleet serving layer (DESIGN.md §7):
 
 1. cloud-based initial training over contributor trajectories;
 2. device-based personalization for a cohort of users (with the privacy
-   tuner set per user);
-3. deployment (one user local, one cloud) behind a uniform endpoint;
-4. periodic model updates as new weeks of data arrive;
+   tuner set per user), driven by a deterministic event schedule;
+3. deployment behind a uniform endpoint — local users keep their model,
+   cloud users' models land in the provider's LRU model registry;
+4. a burst of concurrent queries served *batched* (one fused dispatch
+   per model) and cross-checked against the per-query loop;
+5. periodic model updates as new weeks of data arrive;
 
-plus the overhead accounting the paper reports in §V-C2.
+plus the fleet-level overhead accounting: MACs and simulated seconds
+attributed per side, network traffic, and registry cache behaviour.
 
 Run:  python examples/pelican_service.py
 """
 
-import numpy as np
+import time
 
 from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.eval import responses_match
 from repro.models import GeneralModelConfig, PersonalizationConfig
-from repro.pelican import DeploymentMode, Pelican, PelicanConfig
+from repro.pelican import (
+    DeploymentMode,
+    Fleet,
+    FleetSchedule,
+    Pelican,
+    PelicanConfig,
+    QueryRequest,
+)
 
 
 def main() -> None:
@@ -45,16 +59,20 @@ def main() -> None:
             seed=3,
         ),
     )
+    # Capacity 1 keeps at most one personal model hot in the provider's
+    # cloud, so serving the cohort exercises cold loads and evictions.
+    fleet = Fleet(pelican, registry_capacity=1)
 
     print("=== Phase 1: cloud-based initial training ===")
     contributor_train, _ = corpus.contributor_dataset(level).split_by_user(0.8)
-    report = pelican.initial_training(contributor_train)
+    report = fleet.train_cloud(contributor_train)
     print(
         f"general model trained: {report.estimated_billion_cycles:.1f}B cycle-equivalents, "
         f"{report.wall_seconds:.1f}s wall"
     )
 
-    print("\n=== Phase 2+3: onboard users (device personalization + deployment) ===")
+    print("\n=== Phase 2+3: onboard the fleet (device personalization + deployment) ===")
+    schedule = FleetSchedule()
     holdouts = {}
     for i, uid in enumerate(corpus.personal_ids):
         full = corpus.user_dataset(uid, level)
@@ -65,20 +83,39 @@ def main() -> None:
         mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
         # Users choose their own privacy tuner.
         temperature = [1e-2, 1e-3, 1e-4][i % 3]
-        user = pelican.onboard_user(
-            uid, initial, privacy_temperature=temperature, deployment=mode
+        schedule.onboard(
+            float(i), uid, initial, privacy_temperature=temperature, deployment=mode
         )
+    fleet.run(schedule)
+    for uid, user in pelican.users.items():
         print(
-            f"user {uid}: deployed {mode.value}, T={temperature:g}, "
+            f"user {uid}: deployed {user.endpoint.mode.value}, "
             f"personalization {user.personalization_report.estimated_billion_cycles:.2f}B cycles "
             f"(~{user.simulated_device_seconds:.1f}s on a low-end phone)"
         )
 
-    print("\n=== Serve recommendations ===")
+    print("\n=== Serve a concurrent burst, batched per model ===")
+    requests = []
+    for uid in corpus.personal_ids:
+        _, holdout = holdouts[uid]
+        for window in holdout.windows[:8]:
+            requests.append(QueryRequest(user_id=uid, history=tuple(window.history), k=3))
+    start = time.perf_counter()
+    looped = fleet.serve_looped(requests)
+    looped_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    batched = fleet.serve(requests)
+    batched_ms = (time.perf_counter() - start) * 1e3
+    identical = responses_match(batched, looped)
+    print(
+        f"{len(requests)} concurrent queries in {fleet.report.batches} batches: "
+        f"looped {looped_ms:.1f}ms -> batched {batched_ms:.1f}ms "
+        f"({looped_ms / batched_ms:.1f}x), outputs identical: {identical}"
+    )
     for uid in corpus.personal_ids:
         _, holdout = holdouts[uid]
         window = holdout.windows[0]
-        top3 = pelican.query(uid, window.history, k=3)
+        top3 = next(r.top_k for r in batched if r.user_id == uid)
         pretty = ", ".join(f"bldg {loc} ({conf:.0%})" for loc, conf in top3)
         print(f"user {uid} predicted next locations: {pretty} | truth: bldg {window.target}")
 
@@ -87,19 +124,29 @@ def main() -> None:
     train, holdout = holdouts[uid]
     X, y = holdout.encode()
     before = pelican.users[uid].endpoint.predictor.top_k_accuracy(X, y, 3)
-    pelican.update_user(uid, train)  # re-invoke TL with the full history
+    fleet.update(uid, train)  # re-invoke TL with the full history
     after = pelican.users[uid].endpoint.predictor.top_k_accuracy(X, y, 3)
     print(f"user {uid} holdout top-3 accuracy: {before:.2%} -> {after:.2%} after update")
 
-    print("\n=== Overhead summary (paper §V-C2) ===")
-    summary = pelican.overhead_summary()
-    ratio = summary["cloud_billion_cycles"] / max(summary["device_mean_billion_cycles"], 1e-9)
-    print(f"cloud training:        {summary['cloud_billion_cycles']:.1f}B cycles")
-    print(f"device personalization: {summary['device_mean_billion_cycles']:.2f}B cycles (mean)")
-    print(f"cloud/device ratio:     {ratio:.0f}x")
+    print("\n=== Fleet overhead summary (paper §V-C2, per side) ===")
+    fr = fleet.report
+    ratio = fr.cloud_compute.macs / max(fr.device_compute.macs, 1)
     print(
-        f"channel traffic: {summary['channel_bytes_down'] / 1e6:.2f} MB down, "
-        f"{summary['channel_bytes_up'] / 1e6:.2f} MB up"
+        f"cloud : {fr.cloud_compute.macs / 1e9:.2f}B MACs "
+        f"({fr.cloud_simulated_seconds:.2f}s simulated on a {fr.cloud_profile.name})"
+    )
+    print(
+        f"device: {fr.device_compute.macs / 1e9:.2f}B MACs "
+        f"({fr.device_simulated_seconds:.1f}s simulated on a {fr.device_profile.name})"
+    )
+    print(f"cloud/device MAC ratio: {ratio:.1f}x")
+    print(
+        f"network: {fr.network_seconds:.1f}s simulated, "
+        f"{fr.network_bytes_down / 1e6:.2f} MB down, {fr.network_bytes_up / 1e6:.2f} MB up"
+    )
+    print(
+        f"registry: {fr.registry.hits} hits, {fr.registry.cold_loads} cold loads, "
+        f"{fr.registry.evictions} evictions (capacity {fleet.registry.capacity})"
     )
 
 

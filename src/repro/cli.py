@@ -5,6 +5,7 @@ Commands mirror the reproduction workflow:
 * ``corpus``     — generate a synthetic campus corpus and save it to disk;
 * ``demo``       — run the end-to-end train/personalize/attack/defend story;
 * ``experiment`` — regenerate one paper table/figure by id;
+* ``fleet``      — simulate fleet-scale serving: batched vs. looped queries;
 * ``list``       — list the available experiment ids.
 
 Examples::
@@ -12,6 +13,7 @@ Examples::
     python -m repro corpus --buildings 30 --contributors 10 --days 42 -o corpus.npz
     python -m repro demo --seed 7
     python -m repro experiment table3 --scale tiny
+    python -m repro fleet --scale tiny --fast
     python -m repro list
 """
 
@@ -174,6 +176,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Stand up a fleet and compare batched vs. looped query serving."""
+    from repro.eval import render_fleet, run_fleet_throughput
+
+    if args.capacity < 0:
+        print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]()
+    capacity = args.capacity if args.capacity > 0 else None
+    print(
+        f"[fleet] building deployment at scale={args.scale} "
+        f"({'fast setup, ' if args.fast else ''}"
+        f"{args.queries_per_user} queries/user, registry capacity "
+        f"{capacity if capacity is not None else 'unbounded'})..."
+    )
+    result = run_fleet_throughput(
+        scale,
+        queries_per_user=args.queries_per_user,
+        registry_capacity=capacity,
+        fast_setup=args.fast,
+    )
+    print(render_fleet(result))
+    return 0 if result.parity else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for name, (_, _, description) in EXPERIMENTS.items():
         print(f"{name:<10} {description}")
@@ -205,6 +232,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="experiment id (see: python -m repro list)")
     experiment.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
     experiment.set_defaults(func=_cmd_experiment)
+
+    fleet = sub.add_parser(
+        "fleet", help="fleet-scale serving simulation (batched vs. looped queries)"
+    )
+    fleet.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    fleet.add_argument(
+        "--queries-per-user", type=int, default=32,
+        help="concurrent queries issued per onboarded user (default 32)",
+    )
+    fleet.add_argument(
+        "--capacity", type=int, default=64,
+        help="cloud registry live-model capacity; 0 means unbounded (default 64)",
+    )
+    fleet.add_argument(
+        "--fast", action="store_true",
+        help="cut training epochs so setup takes seconds (serving-only results)",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     lister = sub.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

@@ -1,0 +1,191 @@
+"""Fleet-throughput experiment: batched vs. looped multi-user serving.
+
+Builds a full Pelican deployment at any :class:`ExperimentScale` tier
+(general training, per-user personalization, mixed local/cloud
+deployment), then serves an identical concurrent query workload two ways:
+
+* **looped** — the seed path, one endpoint query per request
+  (:meth:`~repro.pelican.fleet.Fleet.serve_looped`);
+* **batched** — the fleet path, requests grouped per model and dispatched
+  through the graph-free fused inference kernel in one GEMM stack per
+  group (:meth:`~repro.pelican.fleet.Fleet.serve`).
+
+The two paths return identical predictions (checked every run); the
+result reports the wall-clock speedup, the serving throughput, and the
+fleet's per-side resource attribution.  ``benchmarks/test_fleet_serving.py``
+pins the speedup; the ``fleet`` CLI subcommand prints the report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.corpus import generate_corpus
+from repro.data.features import SpatialLevel
+from repro.eval.config import ExperimentScale
+from repro.pelican.deployment import DeploymentMode
+from repro.pelican.fleet import Fleet, FleetReport, QueryRequest, QueryResponse
+from repro.pelican.system import Pelican, PelicanConfig
+
+DEFAULT_LEVEL = SpatialLevel.BUILDING
+
+#: Epoch budget used by ``fast_setup``: serving throughput is independent
+#: of training convergence, so benchmark/CI setups train only this long.
+FAST_SETUP_EPOCHS = 2
+
+
+@dataclass
+class FleetWorkload:
+    """A deployed fleet plus the concurrent request mix to serve."""
+
+    fleet: Fleet
+    requests: List[QueryRequest]
+    scale_name: str
+
+    @property
+    def num_users(self) -> int:
+        return len(self.fleet.pelican.users)
+
+
+@dataclass
+class FleetThroughputResult:
+    """Outcome of one batched-vs-looped serving comparison."""
+
+    scale: str
+    num_users: int
+    num_queries: int
+    batches: int
+    looped_seconds: float
+    batched_seconds: float
+    parity: bool
+    report: FleetReport
+
+    @property
+    def speedup(self) -> float:
+        """Looped wall time over batched wall time (higher is better)."""
+        return self.looped_seconds / self.batched_seconds if self.batched_seconds else 0.0
+
+    @property
+    def batched_queries_per_second(self) -> float:
+        return self.num_queries / self.batched_seconds if self.batched_seconds else 0.0
+
+
+def build_fleet_workload(
+    scale: ExperimentScale,
+    queries_per_user: int = 32,
+    registry_capacity: Optional[int] = 64,
+    k: int = 3,
+    fast_setup: bool = False,
+) -> FleetWorkload:
+    """Stand up a fleet at ``scale`` and derive its query workload.
+
+    Personal users alternate local/cloud deployment (so both serving
+    sides are exercised) and each contributes ``queries_per_user``
+    requests drawn round-robin from their held-out windows — the
+    interleaving a cloud actually sees from concurrent devices.
+
+    ``fast_setup`` cuts training to :data:`FAST_SETUP_EPOCHS` epochs:
+    model *dimensions* (and therefore serving cost) still match the
+    scale, but setup takes seconds instead of minutes.  Only serving
+    results are meaningful under it.
+    """
+    general, personalization = scale.general, scale.personalization
+    if fast_setup:
+        general = replace(general, epochs=FAST_SETUP_EPOCHS, patience=None)
+        personalization = replace(
+            personalization, epochs=FAST_SETUP_EPOCHS, patience=None
+        )
+    corpus = generate_corpus(scale.corpus)
+    spec = corpus.spec(DEFAULT_LEVEL)
+    pelican = Pelican(
+        spec,
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    fleet = Fleet(pelican, registry_capacity=registry_capacity)
+    train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
+    fleet.train_cloud(train)
+
+    holdouts = {}
+    for i, uid in enumerate(corpus.personal_ids):
+        user_train, holdout = corpus.user_dataset(uid, DEFAULT_LEVEL).split(0.8)
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        fleet.onboard(uid, user_train, deployment=mode)
+        holdouts[uid] = holdout
+
+    requests: List[QueryRequest] = []
+    for j in range(queries_per_user):
+        for uid, holdout in holdouts.items():
+            window = holdout.windows[j % len(holdout.windows)]
+            requests.append(QueryRequest(user_id=uid, history=tuple(window.history), k=k))
+    return FleetWorkload(fleet=fleet, requests=requests, scale_name=scale.name)
+
+
+def responses_match(
+    batched: List[QueryResponse], looped: List[QueryResponse], rtol: float = 1e-9
+) -> bool:
+    """True when both serving paths produced the same predictions.
+
+    Rankings must be identical; confidences must agree to ``rtol``
+    *relative* tolerance with no absolute slack (``atol=0``) — under the
+    privacy layer many confidences are tiny, and numpy's default
+    ``atol=1e-8`` would wave through divergences larger than the values
+    themselves.
+    """
+    if len(batched) != len(looped):
+        return False
+    for a, b in zip(batched, looped):
+        if a.user_id != b.user_id:
+            return False
+        if [loc for loc, _ in a.top_k] != [loc for loc, _ in b.top_k]:
+            return False
+        if not np.allclose(
+            [conf for _, conf in a.top_k],
+            [conf for _, conf in b.top_k],
+            rtol=rtol,
+            atol=0.0,
+        ):
+            return False
+    return True
+
+
+def run_fleet_throughput(
+    scale: ExperimentScale,
+    queries_per_user: int = 32,
+    registry_capacity: Optional[int] = 64,
+    fast_setup: bool = False,
+) -> FleetThroughputResult:
+    """Build a fleet at ``scale`` and compare both serving paths once."""
+    workload = build_fleet_workload(
+        scale,
+        queries_per_user=queries_per_user,
+        registry_capacity=registry_capacity,
+        fast_setup=fast_setup,
+    )
+    fleet, requests = workload.fleet, workload.requests
+
+    start = time.perf_counter()
+    looped = fleet.serve_looped(requests)
+    looped_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = fleet.serve(requests)
+    batched_seconds = time.perf_counter() - start
+
+    return FleetThroughputResult(
+        scale=workload.scale_name,
+        num_users=workload.num_users,
+        num_queries=len(requests),
+        batches=fleet.report.batches,
+        looped_seconds=looped_seconds,
+        batched_seconds=batched_seconds,
+        parity=responses_match(batched, looped),
+        report=fleet.report,
+    )

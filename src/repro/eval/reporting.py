@@ -127,3 +127,32 @@ def render_scatter(studies: Dict[str, ScatterStudy]) -> str:
         for uid, (x, yv) in sorted(study.points.items()):
             lines.append(f"  user {uid}: {study.covariate_name}={x:.1f} attack={yv:.1f}%")
     return "\n".join(lines)
+
+
+def render_fleet(result: "FleetThroughputResult") -> str:
+    """Fleet serving comparison rendering (DESIGN.md §7)."""
+    report = result.report
+    lines = [
+        f"fleet @ {result.scale}: {result.num_users} users, "
+        f"{result.num_queries} queries in {result.batches} batches "
+        f"(mean batch {report.mean_batch_size:.1f})",
+        f"  looped  serving: {result.looped_seconds * 1e3:9.1f} ms",
+        f"  batched serving: {result.batched_seconds * 1e3:9.1f} ms   "
+        f"({result.speedup:.2f}x, {result.batched_queries_per_second:,.0f} queries/s)",
+        f"  parity: {'identical outputs' if result.parity else 'MISMATCH'}",
+        "",
+        "per-side attribution:",
+        f"  cloud : {report.cloud_compute.macs / 1e6:10.1f} MMACs, "
+        f"{report.cloud_simulated_seconds:.3f}s simulated "
+        f"({report.cloud_profile.name})",
+        f"  device: {report.device_compute.macs / 1e6:10.1f} MMACs, "
+        f"{report.device_simulated_seconds:.3f}s simulated "
+        f"({report.device_profile.name})",
+        f"  network: {report.network_seconds:.2f}s simulated, "
+        f"{report.network_bytes_up / 1e6:.2f} MB up / "
+        f"{report.network_bytes_down / 1e6:.2f} MB down",
+        f"  registry: {report.registry.hits} hits, "
+        f"{report.registry.cold_loads} cold loads, "
+        f"{report.registry.evictions} evictions",
+    ]
+    return "\n".join(lines)

@@ -84,6 +84,44 @@ class NextLocationPredictor:
         return self.top_k(history, 1)[0][0]
 
     # ------------------------------------------------------------------
+    # Batched multi-instance queries (the fleet serving surface)
+    # ------------------------------------------------------------------
+    def encode_histories(
+        self, histories: Sequence[Sequence[SessionFeatures]]
+    ) -> np.ndarray:
+        """Encode many query windows into one ``(n, steps, width)`` batch.
+
+        All windows must share one length — that is the batching boundary
+        the fleet layer groups on (DESIGN.md §7).
+        """
+        lengths = {len(h) for h in histories}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"histories must share one window length to batch, got {sorted(lengths)}"
+            )
+        return np.stack([self.spec.encode_sequence(h) for h in histories])
+
+    def top_k_batch(
+        self, histories: Sequence[Sequence[SessionFeatures]], k: int
+    ) -> List[List[Tuple[int, float]]]:
+        """Top-k predictions for many windows in one fused dispatch.
+
+        The whole batch runs through the graph-free inference kernel — one
+        GEMM stack for the group instead of one per query — and is ranked
+        row-wise in log space.  Predictions match calling :meth:`top_k`
+        once per window: identical rankings, confidences equal to within
+        BLAS shape-dependent round-off (DESIGN.md §7).
+        """
+        if not histories:
+            return []
+        log_probs = self.log_confidences_encoded(self.encode_histories(histories))
+        order = top_k_indices(log_probs, k, axis=-1)
+        return [
+            [(int(loc), float(np.exp(row_logp[loc]))) for loc in row_order]
+            for row_logp, row_order in zip(log_probs, order)
+        ]
+
+    # ------------------------------------------------------------------
     # Evaluation helpers
     # ------------------------------------------------------------------
     def top_k_accuracy(self, X: np.ndarray, y: np.ndarray, k: int) -> float:

@@ -2,7 +2,11 @@
 
 Cloud-based initial training, device-based personalization, privacy
 enhancement via inference-time temperature scaling, deployment (local or
-cloud), incremental model updates, and simulated device/cloud transport.
+cloud), incremental model updates, simulated device/cloud transport, and
+— above the per-user orchestrator — the fleet-scale serving layer
+(:mod:`repro.pelican.fleet`, DESIGN.md §7): batched multi-user query
+dispatch, a cloud-side model registry with LRU eviction, and a
+deterministic event clock for interleaved workloads.
 """
 
 from repro.pelican.cloud import CloudTrainer, ResourceReport
@@ -13,13 +17,32 @@ from repro.pelican.defenses import (
     TopKOnlyDefense,
 )
 from repro.pelican.deployment import (
+    QUERY_PAYLOAD_BYTES,
     DeploymentMode,
     QueryStats,
     ServiceEndpoint,
     deploy_cloud,
     deploy_local,
+    rebuild_personal_model,
+    serialize_personal_model,
 )
-from repro.pelican.device import DevicePersonalizer, DeviceProfile, rebuild_general_model
+from repro.pelican.device import (
+    CLOUD_SERVER,
+    FLAGSHIP_PHONE,
+    LOW_END_PHONE,
+    DevicePersonalizer,
+    DeviceProfile,
+    rebuild_general_model,
+)
+from repro.pelican.fleet import (
+    EventKind,
+    Fleet,
+    FleetEvent,
+    FleetReport,
+    FleetSchedule,
+    QueryRequest,
+    QueryResponse,
+)
 from repro.pelican.privacy import (
     DEFAULT_PRIVACY_TEMPERATURE,
     PrivacyReport,
@@ -29,17 +52,31 @@ from repro.pelican.privacy import (
     leakage_reduction_series,
     remove_privacy,
 )
+from repro.pelican.registry import ModelRegistry, RegistryStats
 from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
 from repro.pelican.transport import Channel, TransferRecord
 from repro.pelican.updates import UpdateResult, update_personal_model
 
 __all__ = [
+    "CLOUD_SERVER",
     "Channel",
     "CloudTrainer",
     "DEFAULT_PRIVACY_TEMPERATURE",
     "DeploymentMode",
+    "EventKind",
+    "FLAGSHIP_PHONE",
+    "Fleet",
+    "FleetEvent",
+    "FleetReport",
+    "FleetSchedule",
     "GaussianNoiseDefense",
+    "LOW_END_PHONE",
+    "ModelRegistry",
     "OutputDefense",
+    "QUERY_PAYLOAD_BYTES",
+    "QueryRequest",
+    "QueryResponse",
+    "RegistryStats",
     "RoundingDefense",
     "TopKOnlyDefense",
     "DevicePersonalizer",
@@ -60,6 +97,8 @@ __all__ = [
     "leakage_reduction",
     "leakage_reduction_series",
     "rebuild_general_model",
+    "rebuild_personal_model",
     "remove_privacy",
+    "serialize_personal_model",
     "update_personal_model",
 ]

@@ -22,7 +22,13 @@ from repro.nn.serialization import serialize_state
 
 @dataclass
 class ResourceReport:
-    """Compute cost of one training phase."""
+    """Compute cost of one phase (training, personalization, or serving).
+
+    Reports are additive: the fleet layer (DESIGN.md §7) sums per-event
+    reports into per-side totals with :meth:`__add__`.  ``macs`` and
+    ``estimated_billion_cycles`` are deterministic for a fixed workload;
+    ``wall_seconds`` is measured and therefore varies run to run.
+    """
 
     macs: int
     estimated_billion_cycles: float
@@ -30,10 +36,25 @@ class ResourceReport:
 
     @classmethod
     def from_counter(cls, counter: FlopCounter) -> "ResourceReport":
+        """Snapshot a :class:`~repro.nn.profiler.FlopCounter`."""
         return cls(
             macs=counter.macs,
             estimated_billion_cycles=counter.estimated_billion_cycles(),
             wall_seconds=counter.elapsed_seconds,
+        )
+
+    @classmethod
+    def zero(cls) -> "ResourceReport":
+        """An empty report, the identity for :meth:`__add__`."""
+        return cls(macs=0, estimated_billion_cycles=0.0, wall_seconds=0.0)
+
+    def __add__(self, other: "ResourceReport") -> "ResourceReport":
+        return ResourceReport(
+            macs=self.macs + other.macs,
+            estimated_billion_cycles=(
+                self.estimated_billion_cycles + other.estimated_billion_cycles
+            ),
+            wall_seconds=self.wall_seconds + other.wall_seconds,
         )
 
 

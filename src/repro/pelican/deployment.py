@@ -35,6 +35,57 @@ class DeploymentMode(str, Enum):
     CLOUD = "cloud"
 
 
+#: Simulated payload size of one service query exchange (context upload or
+#: prediction download).  Shared by single-query and fleet batched serving
+#: so both paths account identical network traffic.
+QUERY_PAYLOAD_BYTES = 256
+
+
+def serialize_personal_model(model: NextLocationModel) -> bytes:
+    """Serialize a personal model with everything needed to rebuild it.
+
+    The privacy temperature travels with the model *configuration* but its
+    value is chosen by the user and applied before upload — the provider
+    only ever holds the already-defended model.
+    """
+    return serialize_state(
+        model.state_dict(),
+        metadata={
+            "input_width": model.input_width,
+            "num_locations": model.num_locations,
+            "hidden_size": model.hidden_size,
+            "num_layers": model.lstm.num_layers,
+            "dropout": model.lstm.dropout_p,
+            "has_surplus": model.extra is not None,
+            "temperature": model.privacy_temperature,
+        },
+    )
+
+
+def rebuild_personal_model(blob: bytes, rng: np.random.Generator) -> NextLocationModel:
+    """Inverse of :func:`serialize_personal_model`.
+
+    The rebuilt model is bit-identical to the serialized one: the state
+    dict round-trips exactly, so a registry cold load (DESIGN.md §7)
+    answers queries identically to the still-resident original.
+    """
+    state, metadata = deserialize_state(blob)
+    model = NextLocationModel(
+        input_width=int(metadata["input_width"]),
+        num_locations=int(metadata["num_locations"]),
+        hidden_size=int(metadata["hidden_size"]),
+        num_layers=int(metadata["num_layers"]),
+        dropout=float(metadata["dropout"]),
+        rng=rng,
+    )
+    if metadata["has_surplus"]:
+        model.add_surplus_lstm(rng)
+    model.load_state_dict(state)
+    model.set_privacy_temperature(float(metadata["temperature"]))
+    model.eval()
+    return model
+
+
 @dataclass
 class QueryStats:
     """Accounting of service queries against one endpoint."""
@@ -67,16 +118,48 @@ class ServiceEndpoint:
         deployments run server side, so the device pays the round trip.
         Either way one RTT-sized exchange is recorded.
         """
-        self.stats.queries += 1
-        if self.channel is not None:
-            payload = b"x" * 256  # a context upload / prediction download
-            self.stats.simulated_network_seconds += self.channel.upload(
-                payload, label="query-context"
-            )
-            self.stats.simulated_network_seconds += self.channel.download(
-                payload, label="query-result"
-            )
+        self.record_query_exchange(1)
         return self.predictor.top_k(history, k)
+
+    def record_query_exchange(self, count: int) -> float:
+        """Account ``count`` concurrent query exchanges on this endpoint.
+
+        Bumps the query counter and — when the endpoint has a channel —
+        records one coalesced context-upload and result-download per
+        direction (each device pays its own round trip).  This is the
+        single accounting boundary for both the per-query path and
+        batched serving, including the fleet's registry-served cloud
+        dispatches.  Returns the simulated network seconds added.
+        """
+        self.stats.queries += count
+        if self.channel is None or count == 0:
+            return 0.0
+        seconds = self.channel.bulk_upload(
+            QUERY_PAYLOAD_BYTES, count, label="query-context"
+        ) + self.channel.bulk_download(
+            QUERY_PAYLOAD_BYTES, count, label="query-result"
+        )
+        self.stats.simulated_network_seconds += seconds
+        return seconds
+
+    def top_k_batch(
+        self, histories: Sequence[Sequence[SessionFeatures]], k: int
+    ) -> List[List[Tuple[int, float]]]:
+        """Batched top-k for many concurrent queries against one model.
+
+        All histories are encoded into one batch and answered through the
+        graph-free fused inference path in a single dispatch (one GEMM
+        stack for the whole group, DESIGN.md §7) — the serving fast path
+        the fleet layer uses.  Predictions match calling :meth:`top_k`
+        once per history (identical rankings, confidences equal to within
+        float round-off).  Network accounting matches too:
+        each query still pays its own round-trip-sized exchange, recorded
+        as one coalesced bulk transfer per direction.
+        """
+        if not histories:
+            return []
+        self.record_query_exchange(len(histories))
+        return self.predictor.top_k_batch(histories, k)
 
     def confidences(self, history: Sequence[SessionFeatures]) -> np.ndarray:
         """Full confidence vector (what the provider can always observe)."""
@@ -99,39 +182,13 @@ def deploy_cloud(
 ) -> Tuple[ServiceEndpoint, float]:
     """Upload the personal model to the cloud and serve from there.
 
-    The model is serialized, shipped over the channel, and reconstructed
-    server side; returns the endpoint and the simulated upload seconds.
-    The privacy temperature travels with the model *configuration* but its
-    value is chosen by the user and applied before upload — the provider
-    only ever holds the already-defended model.
+    The model is serialized (:func:`serialize_personal_model`), shipped
+    over the channel, and reconstructed server side; returns the endpoint
+    and the simulated upload seconds.
     """
-    blob = serialize_state(
-        model.state_dict(),
-        metadata={
-            "input_width": model.input_width,
-            "num_locations": model.num_locations,
-            "hidden_size": model.hidden_size,
-            "num_layers": model.lstm.num_layers,
-            "dropout": model.lstm.dropout_p,
-            "has_surplus": model.extra is not None,
-            "temperature": model.privacy_temperature,
-        },
-    )
+    blob = serialize_personal_model(model)
     upload_seconds = channel.upload(blob, label="personal-model")
-    state, metadata = deserialize_state(blob)
-    server_model = NextLocationModel(
-        input_width=int(metadata["input_width"]),
-        num_locations=int(metadata["num_locations"]),
-        hidden_size=int(metadata["hidden_size"]),
-        num_layers=int(metadata["num_layers"]),
-        dropout=float(metadata["dropout"]),
-        rng=rng,
-    )
-    if metadata["has_surplus"]:
-        server_model.add_surplus_lstm(rng)
-    server_model.load_state_dict(state)
-    server_model.set_privacy_temperature(float(metadata["temperature"]))
-    server_model.eval()
+    server_model = rebuild_personal_model(blob, rng)
     endpoint = ServiceEndpoint(
         NextLocationPredictor(server_model, spec), DeploymentMode.CLOUD, channel
     )

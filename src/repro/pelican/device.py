@@ -40,7 +40,16 @@ class DeviceProfile:
     effective_gmacs_per_second: float = 2.0
 
     def simulated_seconds(self, macs: int) -> float:
+        """Convert a MAC count into simulated seconds on this hardware."""
         return macs / (self.effective_gmacs_per_second * 1e9)
+
+
+# Hardware presets used by the fleet layer (DESIGN.md §7) to attribute
+# simulated seconds per side.  The numbers are deliberately coarse — only
+# the relative magnitudes matter for the reproduced comparisons.
+LOW_END_PHONE = DeviceProfile()
+FLAGSHIP_PHONE = DeviceProfile(name="flagship-phone", effective_gmacs_per_second=8.0)
+CLOUD_SERVER = DeviceProfile(name="cloud-server", effective_gmacs_per_second=64.0)
 
 
 def rebuild_general_model(blob: bytes, rng: np.random.Generator) -> NextLocationModel:

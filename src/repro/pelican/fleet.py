@@ -1,0 +1,480 @@
+"""Fleet-scale serving on top of :class:`~repro.pelican.system.Pelican`
+(DESIGN.md §7).
+
+The orchestrator in ``system.py`` onboards and answers one user at a
+time; this module is the production-shaped layer above it that simulates
+thousands of devices against one cloud:
+
+* **Batched multi-user serving** — concurrent query requests are grouped
+  per personal model (per user, window length, and k) and each group is
+  dispatched through the graph-free fused inference path in *one* GEMM
+  stack (:meth:`~repro.models.predictor.NextLocationPredictor.top_k_batch`)
+  instead of one dispatch per query.  Predictions are identical to the
+  per-query loop (rankings exactly, confidences to float round-off);
+  only the cost changes.
+* **Cloud model registry** — cloud-deployed personal models live in a
+  capacity-bounded :class:`~repro.pelican.registry.ModelRegistry` with
+  LRU eviction and serialization-backed cold loads, modeling a cloud that
+  cannot keep every personal model hot.
+* **Deterministic event clock** — interleaved onboard/update/query
+  workloads are described by a :class:`FleetSchedule` and replayed in
+  ``(time, seq)`` order; consecutive queries sharing a clock tick form
+  one serving batch.  The same seed and schedule always reproduce the
+  same responses, the same per-side MAC totals, and the same registry
+  eviction sequence.
+* **Per-side accounting** — every event's MACs are attributed to the
+  side that executed it (cloud for training, serving of cloud-deployed
+  models, and cold loads; device for personalization, updates, and
+  serving of locally-deployed models) and converted to simulated seconds
+  with the side's :class:`~repro.pelican.device.DeviceProfile`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import SequenceDataset
+from repro.data.features import SessionFeatures
+from repro.models.predictor import NextLocationPredictor
+from repro.nn.profiler import flop_counter
+from repro.pelican.cloud import ResourceReport
+from repro.pelican.deployment import DeploymentMode
+from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
+from repro.pelican.registry import ModelRegistry, RegistryStats
+from repro.pelican.system import OnboardedUser, Pelican
+from repro.models.personalize import PersonalizationMethod
+
+
+# ----------------------------------------------------------------------
+# Workload description
+# ----------------------------------------------------------------------
+class EventKind(str, enum.Enum):
+    """What a fleet event asks the system to do."""
+
+    ONBOARD = "onboard"
+    UPDATE = "update"
+    QUERY = "query"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One device asking for its user's next-location prediction."""
+
+    user_id: int
+    history: Tuple[SessionFeatures, ...]
+    k: int = 3
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The served answer, tagged with the originating event."""
+
+    user_id: int
+    time: float
+    seq: int
+    top_k: Tuple[Tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One scheduled action.  ``seq`` breaks same-time ties (DESIGN.md §7)."""
+
+    time: float
+    seq: int
+    kind: EventKind
+    user_id: int
+    payload: Any = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+
+class FleetSchedule:
+    """A deterministic workload: events replayed in ``(time, seq)`` order.
+
+    ``seq`` is assigned at build time, so two schedules constructed by the
+    same code are identical — including how same-time ties resolve.
+    Consecutive QUERY events sharing a clock tick are served as one batch;
+    an ONBOARD/UPDATE at the same tick splits the batch at its position.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[FleetEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def onboard(
+        self, time: float, user_id: int, dataset: SequenceDataset, **options: Any
+    ) -> "FleetSchedule":
+        """Schedule a device onboarding (options mirror ``Fleet.onboard``)."""
+        self._append(EventKind.ONBOARD, time, user_id, dataset, options)
+        return self
+
+    def update(
+        self, time: float, user_id: int, dataset: SequenceDataset
+    ) -> "FleetSchedule":
+        """Schedule an incremental personal-model update."""
+        self._append(EventKind.UPDATE, time, user_id, dataset, {})
+        return self
+
+    def query(
+        self,
+        time: float,
+        user_id: int,
+        history: Sequence[SessionFeatures],
+        k: int = 3,
+    ) -> "FleetSchedule":
+        """Schedule one service query."""
+        self._append(EventKind.QUERY, time, user_id, tuple(history), {"k": k})
+        return self
+
+    def _append(
+        self,
+        kind: EventKind,
+        time: float,
+        user_id: int,
+        payload: Any,
+        options: Dict[str, Any],
+    ) -> None:
+        self._events.append(
+            FleetEvent(
+                time=float(time),
+                seq=len(self._events),
+                kind=kind,
+                user_id=user_id,
+                payload=payload,
+                options=tuple(sorted(options.items())),
+            )
+        )
+
+    def ordered(self) -> List[FleetEvent]:
+        """Events in replay order."""
+        return sorted(self._events, key=lambda e: (e.time, e.seq))
+
+
+# ----------------------------------------------------------------------
+# Fleet-level accounting
+# ----------------------------------------------------------------------
+@dataclass
+class FleetReport:
+    """Cumulative per-side cost of everything a :class:`Fleet` has done.
+
+    ``cloud_compute`` / ``device_compute`` sum MACs on each side;
+    ``*_simulated_seconds`` convert them through the side's hardware
+    profile (plus registry cold-load fetch time on the cloud side and the
+    per-user personalization estimates on the device side).
+    ``wall_seconds`` inside the embedded reports is measured, so
+    :meth:`signature` — the projection the determinism guarantee covers —
+    excludes it.
+    """
+
+    cloud_profile: DeviceProfile
+    device_profile: DeviceProfile
+    cloud_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    device_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    device_simulated_seconds: float = 0.0
+    network_seconds: float = 0.0
+    network_bytes_up: int = 0
+    network_bytes_down: int = 0
+    onboards: int = 0
+    updates: int = 0
+    queries: int = 0
+    batches: int = 0
+    registry: RegistryStats = field(default_factory=RegistryStats)
+
+    @property
+    def cloud_simulated_seconds(self) -> float:
+        """Cloud compute time plus checkpoint-store fetch time."""
+        return (
+            self.cloud_profile.simulated_seconds(self.cloud_compute.macs)
+            + self.registry.simulated_load_seconds
+        )
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+    def signature(self) -> Dict[str, Any]:
+        """The deterministic projection: identical for identical runs.
+
+        Same seed + same schedule ⇒ identical signature (and identical
+        responses); only wall-clock measurements are excluded.
+        """
+        return {
+            "cloud_macs": self.cloud_compute.macs,
+            "device_macs": self.device_compute.macs,
+            "cloud_simulated_seconds": self.cloud_simulated_seconds,
+            "device_simulated_seconds": self.device_simulated_seconds,
+            "network_seconds": self.network_seconds,
+            "network_bytes_up": self.network_bytes_up,
+            "network_bytes_down": self.network_bytes_down,
+            "onboards": self.onboards,
+            "updates": self.updates,
+            "queries": self.queries,
+            "batches": self.batches,
+            "registry_hits": self.registry.hits,
+            "registry_cold_loads": self.registry.cold_loads,
+            "registry_evictions": self.registry.evictions,
+            "registry_load_seconds": self.registry.simulated_load_seconds,
+            "eviction_log": tuple(self.registry.eviction_log),
+        }
+
+
+# ----------------------------------------------------------------------
+# The fleet itself
+# ----------------------------------------------------------------------
+class Fleet:
+    """Many simulated devices served by one Pelican cloud.
+
+    Wraps a :class:`~repro.pelican.system.Pelican` (which keeps per-user
+    truth: endpoints, datasets, the shared channel) and adds the serving
+    machinery: the model registry for cloud deployments, batched query
+    dispatch, the event clock, and per-side accounting.
+
+    Parameters
+    ----------
+    pelican:
+        The underlying orchestrator.  Its general model must be trained
+        (``initial_training``) before devices onboard — do it directly or
+        via :meth:`train_cloud` to have the cost attributed to the fleet
+        report.
+    registry_capacity:
+        Live-model budget of the cloud registry (``None`` = unbounded).
+    cloud_profile / device_profile:
+        Hardware models used to convert per-side MACs into simulated
+        seconds; ``device_profile`` is also the default onboarding device.
+    """
+
+    def __init__(
+        self,
+        pelican: Pelican,
+        registry_capacity: Optional[int] = 64,
+        cloud_profile: DeviceProfile = CLOUD_SERVER,
+        device_profile: DeviceProfile = LOW_END_PHONE,
+    ) -> None:
+        self.pelican = pelican
+        self.registry = ModelRegistry(
+            capacity=registry_capacity, seed=pelican.config.seed
+        )
+        self.cloud_profile = cloud_profile
+        self.device_profile = device_profile
+        self._profiles: Dict[int, DeviceProfile] = {}
+        self.report = FleetReport(
+            cloud_profile=cloud_profile,
+            device_profile=device_profile,
+            registry=self.registry.stats,
+        )
+        # Adopt users already onboarded through the bare Pelican API:
+        # cloud-deployed models must be in the registry before serving.
+        for user_id, user in pelican.users.items():
+            if user.endpoint.mode == DeploymentMode.CLOUD:
+                self.registry.register(user_id, user.endpoint.predictor.model)
+
+    # ------------------------------------------------------------------
+    # Lifecycle events
+    # ------------------------------------------------------------------
+    def train_cloud(self, contributor_dataset: SequenceDataset) -> ResourceReport:
+        """Phase-1 general-model training, attributed to the cloud side."""
+        report = self.pelican.initial_training(contributor_dataset)
+        self.report.cloud_compute += report
+        self._sync_network()
+        return report
+
+    def onboard(
+        self,
+        user_id: int,
+        dataset: SequenceDataset,
+        privacy_temperature: Optional[float] = None,
+        method: Optional[PersonalizationMethod] = None,
+        deployment: Optional[DeploymentMode] = None,
+        profile: Optional[DeviceProfile] = None,
+    ) -> OnboardedUser:
+        """Onboard one device: personalize, deploy, register if cloud-mode."""
+        profile = profile or self.device_profile
+        user = self.pelican.onboard_user(
+            user_id,
+            dataset,
+            privacy_temperature=privacy_temperature,
+            method=method,
+            deployment=deployment,
+            profile=profile,
+        )
+        self._profiles[user_id] = profile
+        self.report.onboards += 1
+        self.report.device_compute += user.personalization_report
+        self.report.device_simulated_seconds += user.simulated_device_seconds
+        if user.endpoint.mode == DeploymentMode.CLOUD:
+            self.registry.register(user_id, user.endpoint.predictor.model)
+        self._sync_network()
+        return user
+
+    def update(self, user_id: int, dataset: SequenceDataset) -> OnboardedUser:
+        """Phase-4 incremental update, attributed to the user's device."""
+        refreshed = self.pelican.update_user(user_id, dataset)
+        profile = self._profiles.get(user_id, self.device_profile)
+        self.report.updates += 1
+        self.report.device_compute += refreshed.personalization_report
+        self.report.device_simulated_seconds += profile.simulated_seconds(
+            refreshed.personalization_report.macs
+        )
+        if refreshed.endpoint.mode == DeploymentMode.CLOUD:
+            self.registry.register(user_id, refreshed.endpoint.predictor.model)
+        self._sync_network()
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Query serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """Serve concurrent requests batched per model.
+
+        Requests are grouped by ``(user, window length, k)`` in arrival
+        order; each group runs as one fused inference dispatch.  Answers
+        come back in request order and match :meth:`serve_looped` on the
+        same requests (identical rankings; confidences to within float
+        round-off — see DESIGN.md §7).
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        groups: "OrderedDict[Tuple[int, int, int], List[int]]" = OrderedDict()
+        for idx, request in enumerate(requests):
+            key = (request.user_id, len(request.history), request.k)
+            groups.setdefault(key, []).append(idx)
+        for (user_id, _, k), indices in groups.items():
+            user = self.pelican.users[user_id]
+            histories = [requests[i].history for i in indices]
+            results = self._dispatch(user, user_id, histories, k)
+            for i, top in zip(indices, results):
+                responses[i] = QueryResponse(
+                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
+                )
+            self.report.batches += 1
+            self.report.queries += len(indices)
+        self._sync_network()
+        return [r for r in responses if r is not None]
+
+    def serve_looped(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """Reference implementation: one endpoint query per request.
+
+        This is the seed serving path (``Pelican.query`` in a loop), kept
+        as the executable specification for :meth:`serve` and as the slow
+        side of the fleet benchmark.  It is accounting-neutral: the
+        registry, the fleet report, endpoint stats, and channel traffic
+        are all left exactly as they were, so running a parity check (or
+        the benchmark) never perturbs the books of the batched path.
+        """
+        channel_state = self.pelican.channel.checkpoint()
+        stats_state = {
+            uid: (
+                u.endpoint.stats.queries,
+                u.endpoint.stats.simulated_network_seconds,
+                u.endpoint.predictor.query_count,
+            )
+            for uid, u in self.pelican.users.items()
+        }
+        try:
+            return [
+                QueryResponse(
+                    user_id=r.user_id,
+                    time=0.0,
+                    seq=i,
+                    top_k=tuple(self.pelican.query(r.user_id, r.history, r.k)),
+                )
+                for i, r in enumerate(requests)
+            ]
+        finally:
+            self.pelican.channel.rollback(channel_state)
+            for uid, (queries, seconds, query_count) in stats_state.items():
+                endpoint = self.pelican.users[uid].endpoint
+                endpoint.stats.queries = queries
+                endpoint.stats.simulated_network_seconds = seconds
+                endpoint.predictor.query_count = query_count
+
+    def _dispatch(
+        self,
+        user: OnboardedUser,
+        user_id: int,
+        histories: Sequence[Tuple[SessionFeatures, ...]],
+        k: int,
+    ) -> List[List[Tuple[int, float]]]:
+        """One batched group against the right side's model."""
+        if user.endpoint.mode == DeploymentMode.CLOUD:
+            # Cloud serving goes through the registry (cold-loading if
+            # evicted); every device still pays its own query exchange,
+            # accounted at the endpoint's single accounting boundary.
+            model = self.registry.get(user_id)
+            predictor = NextLocationPredictor(model, self.pelican.spec)
+            with flop_counter() as counter:
+                results = predictor.top_k_batch(histories, k)
+            self.report.cloud_compute += ResourceReport.from_counter(counter)
+            user.endpoint.record_query_exchange(len(histories))
+            return results
+        # Local deployment: the device computes its own answers, no network.
+        with flop_counter() as counter:
+            results = user.endpoint.top_k_batch(histories, k)
+        report = ResourceReport.from_counter(counter)
+        self.report.device_compute += report
+        profile = self._profiles.get(user_id, self.device_profile)
+        self.report.device_simulated_seconds += profile.simulated_seconds(report.macs)
+        return results
+
+    # ------------------------------------------------------------------
+    # Event clock
+    # ------------------------------------------------------------------
+    def run(self, schedule: FleetSchedule) -> List[QueryResponse]:
+        """Replay a schedule on the simulated event clock.
+
+        Events execute in ``(time, seq)`` order.  A maximal run of
+        consecutive QUERY events sharing one clock tick is *concurrent*
+        and served as one :meth:`serve` batch; any other event flushes the
+        pending batch first.  Responses come back in event order, tagged
+        with their event's ``(time, seq)``.
+        """
+        responses: List[QueryResponse] = []
+        pending: List[FleetEvent] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            batch = [
+                QueryRequest(
+                    user_id=e.user_id,
+                    history=e.payload,
+                    k=dict(e.options).get("k", 3),
+                )
+                for e in pending
+            ]
+            for event, response in zip(pending, self.serve(batch)):
+                responses.append(
+                    QueryResponse(
+                        user_id=response.user_id,
+                        time=event.time,
+                        seq=event.seq,
+                        top_k=response.top_k,
+                    )
+                )
+            pending.clear()
+
+        for event in schedule.ordered():
+            if event.kind is EventKind.QUERY:
+                if pending and pending[-1].time != event.time:
+                    flush()
+                pending.append(event)
+                continue
+            flush()
+            options = dict(event.options)
+            if event.kind is EventKind.ONBOARD:
+                self.onboard(event.user_id, event.payload, **options)
+            elif event.kind is EventKind.UPDATE:
+                self.update(event.user_id, event.payload)
+        flush()
+        return responses
+
+    # ------------------------------------------------------------------
+    def _sync_network(self) -> None:
+        """Mirror the shared channel's totals into the fleet report."""
+        channel = self.pelican.channel
+        self.report.network_seconds = channel.total_simulated_seconds
+        self.report.network_bytes_up = channel.bytes_up
+        self.report.network_bytes_down = channel.bytes_down

@@ -8,8 +8,11 @@ Ties the four phases together for a population of users:
 3. deployment, local or cloud;
 4. periodic personal-model updates.
 
-This is the end-to-end entry point used by the examples; each phase is also
-usable standalone (``CloudTrainer``, ``DevicePersonalizer``, ...).
+This is the per-user end-to-end entry point; each phase is also usable
+standalone (``CloudTrainer``, ``DevicePersonalizer``, ...).  For serving
+many users at once — batched query dispatch, the cloud model registry,
+the deterministic event clock — layer :class:`repro.pelican.fleet.Fleet`
+on top (DESIGN.md §7, ``examples/pelican_service.py``).
 """
 
 from __future__ import annotations
@@ -90,11 +93,14 @@ class Pelican:
         privacy_temperature: Optional[float] = None,
         method: Optional[PersonalizationMethod] = None,
         deployment: Optional[DeploymentMode] = None,
+        profile: Optional[DeviceProfile] = None,
     ) -> OnboardedUser:
         """Personalize on device and deploy for one user.
 
         ``privacy_temperature`` is the user's privacy tuner (defaults to
         the system default; the value is never revealed to the provider).
+        ``profile`` models the user's device hardware (defaults to a
+        low-end phone) and only affects the simulated-seconds conversion.
         """
         if self._general_blob is None:
             raise RuntimeError("run initial_training before onboarding users")
@@ -106,7 +112,7 @@ class Pelican:
         self.channel.download(self._general_blob, label=f"general-model->user{user_id}")
         personalizer = DevicePersonalizer(
             self.config.personalization,
-            profile=DeviceProfile(),
+            profile=profile or DeviceProfile(),
             seed=self.config.seed + user_id + 1,
         )
         personal, report, device_seconds = personalizer.personalize(
@@ -139,6 +145,21 @@ class Pelican:
     ) -> List[Tuple[int, float]]:
         """Top-k next-location prediction for an onboarded user."""
         return self.users[user_id].endpoint.top_k(history, k)
+
+    def query_batch(
+        self,
+        user_id: int,
+        histories: Sequence[Sequence[SessionFeatures]],
+        k: int = 3,
+    ) -> List[List[Tuple[int, float]]]:
+        """Batched top-k predictions for one user's concurrent queries.
+
+        All windows are answered in one fused inference dispatch
+        (:meth:`~repro.pelican.deployment.ServiceEndpoint.top_k_batch`);
+        results are identical to calling :meth:`query` per window.  For
+        multi-user batched serving use :class:`repro.pelican.fleet.Fleet`.
+        """
+        return self.users[user_id].endpoint.top_k_batch(histories, k)
 
     # ------------------------------------------------------------------
     # Phase 4

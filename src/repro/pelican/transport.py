@@ -6,6 +6,18 @@ personal model is uploaded back for cloud deployment.  This module models
 that channel: every transfer is accounted in bytes and simulated seconds
 under a configurable bandwidth/RTT, so examples and benchmarks can report
 realistic transfer overheads without a network.
+
+Two granularities are supported:
+
+* :meth:`Channel.upload` / :meth:`Channel.download` — one record per
+  transfer, used by the per-user phases (model download, model upload,
+  single service queries).
+* :meth:`Channel.bulk_upload` / :meth:`Channel.bulk_download` — one
+  record summarizing ``count`` identical transfers, used by the fleet
+  serving layer (DESIGN.md §7) so a batch of thousands of concurrent
+  query exchanges costs O(1) bookkeeping.  Each device still pays its own
+  round trip: the simulated seconds are ``count * rtt + total_bytes/bw``,
+  matching the sum of the individual transfers.
 """
 
 from __future__ import annotations
@@ -16,53 +28,108 @@ from typing import List
 
 @dataclass
 class TransferRecord:
-    """One simulated transfer over the channel."""
+    """One simulated transfer (or a coalesced batch of identical ones).
+
+    ``count`` is the number of physical transfers this record stands for;
+    ``num_bytes`` and ``simulated_seconds`` are totals over all of them.
+    """
 
     direction: str  # "up" (device -> cloud) or "down" (cloud -> device)
     num_bytes: int
     simulated_seconds: float
     label: str = ""
+    count: int = 1
 
 
 @dataclass
 class Channel:
-    """A device <-> cloud link with bandwidth and round-trip latency."""
+    """A device <-> cloud link with bandwidth and round-trip latency.
+
+    Totals (bytes, seconds, transfer count) are maintained as running
+    counters, so reading them is O(1) no matter how long the transfer
+    history grows — the fleet layer reads them after every event.
+    """
 
     bandwidth_mbps: float = 20.0
     rtt_ms: float = 40.0
     records: List[TransferRecord] = field(default_factory=list)
+    _bytes: dict = field(default_factory=lambda: {"up": 0, "down": 0})
+    _seconds: float = 0.0
+    _count: int = 0
 
-    def _transfer(self, direction: str, blob: bytes, label: str) -> float:
+    def _transfer(
+        self, direction: str, num_bytes: int, label: str, count: int = 1
+    ) -> float:
         if self.bandwidth_mbps <= 0:
             raise ValueError("bandwidth must be positive")
-        seconds = self.rtt_ms / 1000.0 + len(blob) * 8 / (self.bandwidth_mbps * 1e6)
+        if count <= 0:
+            raise ValueError("transfer count must be positive")
+        seconds = count * self.rtt_ms / 1000.0 + num_bytes * 8 / (self.bandwidth_mbps * 1e6)
         self.records.append(
             TransferRecord(
                 direction=direction,
-                num_bytes=len(blob),
+                num_bytes=num_bytes,
                 simulated_seconds=seconds,
                 label=label,
+                count=count,
             )
         )
+        self._bytes[direction] += num_bytes
+        self._seconds += seconds
+        self._count += count
         return seconds
 
     def download(self, blob: bytes, label: str = "") -> float:
         """Cloud -> device transfer; returns simulated seconds."""
-        return self._transfer("down", blob, label)
+        return self._transfer("down", len(blob), label)
 
     def upload(self, blob: bytes, label: str = "") -> float:
         """Device -> cloud transfer; returns simulated seconds."""
-        return self._transfer("up", blob, label)
+        return self._transfer("up", len(blob), label)
+
+    def bulk_download(self, bytes_each: int, count: int, label: str = "") -> float:
+        """``count`` identical cloud -> device transfers as one record."""
+        return self._transfer("down", bytes_each * count, label, count=count)
+
+    def bulk_upload(self, bytes_each: int, count: int, label: str = "") -> float:
+        """``count`` identical device -> cloud transfers as one record."""
+        return self._transfer("up", bytes_each * count, label, count=count)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> tuple:
+        """Snapshot the accounting state (see :meth:`rollback`)."""
+        return len(self.records), dict(self._bytes), self._seconds, self._count
+
+    def rollback(self, state: tuple) -> None:
+        """Discard every transfer recorded since ``checkpoint``.
+
+        Used by reference/parity re-runs (e.g.
+        :meth:`~repro.pelican.fleet.Fleet.serve_looped`) that must not
+        leave their traffic in the books.
+        """
+        num_records, bytes_by_dir, seconds, count = state
+        del self.records[num_records:]
+        self._bytes = dict(bytes_by_dir)
+        self._seconds = seconds
+        self._count = count
 
     # ------------------------------------------------------------------
     @property
     def bytes_down(self) -> int:
-        return sum(r.num_bytes for r in self.records if r.direction == "down")
+        """Total bytes transferred cloud -> device."""
+        return self._bytes["down"]
 
     @property
     def bytes_up(self) -> int:
-        return sum(r.num_bytes for r in self.records if r.direction == "up")
+        """Total bytes transferred device -> cloud."""
+        return self._bytes["up"]
+
+    @property
+    def transfer_count(self) -> int:
+        """Number of physical transfers (bulk records count multiply)."""
+        return self._count
 
     @property
     def total_simulated_seconds(self) -> float:
-        return sum(r.simulated_seconds for r in self.records)
+        """Total simulated link time across both directions."""
+        return self._seconds

@@ -1,0 +1,29 @@
+"""Tests for the fleet-throughput experiment runner."""
+
+from repro.eval import ExperimentScale, render_fleet, run_fleet_throughput
+
+
+class TestFleetThroughput:
+    def test_tiny_fast_setup_run(self):
+        result = run_fleet_throughput(
+            ExperimentScale.tiny(), queries_per_user=4, fast_setup=True
+        )
+        assert result.scale == "tiny"
+        assert result.parity
+        assert result.num_queries == 4 * result.num_users
+        # One fused dispatch per user: requests interleave users but group per model.
+        assert result.batches == result.num_users
+        assert result.batched_seconds > 0 and result.looped_seconds > 0
+        assert result.report.queries == result.num_queries
+        # Mixed local/cloud deployment exercises both sides.
+        assert result.report.cloud_compute.macs > 0
+        assert result.report.device_compute.macs > 0
+
+    def test_render_fleet(self):
+        result = run_fleet_throughput(
+            ExperimentScale.tiny(), queries_per_user=2, fast_setup=True
+        )
+        text = render_fleet(result)
+        assert "parity: identical outputs" in text
+        assert "per-side attribution" in text
+        assert "registry" in text

@@ -75,3 +75,35 @@ class TestLogSpacePrecision:
         defended = NextLocationPredictor(defended_model, spec)
         probs = defended.confidences(sample_history)
         assert probs.max() > 0.999  # the attack-facing view saturates
+
+
+class TestBatchedQueries:
+    """The fleet serving surface: many windows, one fused dispatch."""
+
+    def test_top_k_batch_matches_looped_top_k(self, predictor, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+        histories = [w.history for w in ds.windows[:8]]
+        batched = predictor.top_k_batch(histories, 3)
+        looped = [predictor.top_k(h, 3) for h in histories]
+        assert len(batched) == len(looped)
+        for brow, lrow in zip(batched, looped):
+            assert [loc for loc, _ in brow] == [loc for loc, _ in lrow]
+            np.testing.assert_allclose(
+                [c for _, c in brow], [c for _, c in lrow], rtol=1e-9
+            )
+
+    def test_top_k_batch_counts_queries(self, predictor, tiny_corpus):
+        uid = tiny_corpus.personal_ids[0]
+        ds = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING)
+        histories = [w.history for w in ds.windows[:5]]
+        before = predictor.query_count
+        predictor.top_k_batch(histories, 2)
+        assert predictor.query_count == before + 5
+
+    def test_top_k_batch_empty(self, predictor):
+        assert predictor.top_k_batch([], 3) == []
+
+    def test_mixed_window_lengths_rejected(self, predictor, sample_history):
+        with pytest.raises(ValueError, match="window length"):
+            predictor.encode_histories([sample_history, sample_history[:1]])

@@ -1,0 +1,97 @@
+"""Unit tests for the cloud-side personalized-model registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import NextLocationModel
+from repro.pelican import ModelRegistry
+
+
+def _model(seed=0, temperature=1.0):
+    model = NextLocationModel(
+        input_width=10,
+        num_locations=6,
+        hidden_size=8,
+        num_layers=1,
+        dropout=0.0,
+        rng=np.random.default_rng(seed),
+    )
+    model.set_privacy_temperature(temperature)
+    model.eval()
+    return model
+
+
+class TestRegistry:
+    def test_register_and_get_hit(self):
+        registry = ModelRegistry(capacity=2)
+        model = _model()
+        registry.register(7, model)
+        assert registry.get(7) is model
+        assert registry.stats.hits == 1
+        assert registry.stats.cold_loads == 0
+
+    def test_unknown_user_rejected(self):
+        registry = ModelRegistry(capacity=2)
+        with pytest.raises(KeyError):
+            registry.get(99)
+
+    def test_lru_eviction_order(self):
+        registry = ModelRegistry(capacity=2)
+        for uid in (1, 2, 3):
+            registry.register(uid, _model(uid))
+        assert registry.stats.eviction_log == [1]  # least recently used
+        assert registry.resident_ids == [2, 3]
+        assert len(registry) == 3  # blobs are durable
+
+    def test_access_refreshes_recency(self):
+        registry = ModelRegistry(capacity=2)
+        registry.register(1, _model(1))
+        registry.register(2, _model(2))
+        registry.get(1)  # 1 becomes most recent
+        registry.register(3, _model(3))
+        assert registry.stats.eviction_log == [2]
+
+    def test_cold_load_rebuilds_identically(self):
+        registry = ModelRegistry(capacity=1)
+        original = _model(5, temperature=1e-3)
+        registry.register(5, original)
+        registry.register(6, _model(6))  # evicts 5
+        reloaded = registry.get(5)
+        assert registry.stats.cold_loads == 1
+        assert registry.stats.simulated_load_seconds > 0
+        assert reloaded is not original
+        assert reloaded.privacy_temperature == original.privacy_temperature
+        batch = np.random.default_rng(0).normal(size=(3, 2, 10))
+        np.testing.assert_array_equal(
+            reloaded.infer_logits(batch), original.infer_logits(batch)
+        )
+
+    def test_explicit_evict(self):
+        registry = ModelRegistry(capacity=4)
+        registry.register(1, _model(1))
+        assert registry.evict(1)
+        assert not registry.evict(1)
+        assert 1 in registry  # blob survives
+        registry.get(1)
+        assert registry.stats.cold_loads == 1
+
+    def test_reregister_replaces(self):
+        registry = ModelRegistry(capacity=2)
+        registry.register(1, _model(1))
+        replacement = _model(2)
+        registry.register(1, replacement)
+        assert registry.get(1) is replacement
+        assert len(registry) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+        with pytest.raises(ValueError):
+            ModelRegistry(storage_mbps=0)
+
+    def test_unbounded_capacity_never_evicts(self):
+        registry = ModelRegistry(capacity=None)
+        for uid in range(20):
+            registry.register(uid, _model(uid))
+        assert registry.stats.evictions == 0
+        assert registry.resident_ids == list(range(20))

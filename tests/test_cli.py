@@ -21,6 +21,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table3", "--scale", "huge"])
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.scale == "tiny"
+        assert args.queries_per_user == 32
+        assert args.capacity == 64
+        assert not args.fast
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -45,6 +52,24 @@ class TestCommands:
         assert out_path.exists()
         sessions = load_ap_sessions(out_path)
         assert len(sessions) == 3  # 2 contributors + 1 personal
+
+    def test_fleet_fast_run(self, capsys):
+        code = main(
+            ["fleet", "--fast", "--queries-per-user", "4", "--capacity", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parity: identical outputs" in out
+        assert "batched serving" in out
+        assert "registry" in out
+
+    def test_fleet_capacity_zero_is_unbounded(self, capsys):
+        code = main(
+            ["fleet", "--fast", "--queries-per-user", "2", "--capacity", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unbounded" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "bogus"]) == 2
