@@ -31,11 +31,13 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-# The quick suite: nn micro-benchmarks plus the fleet serving comparison
-# (both run in seconds; the experiment-regeneration targets need --full).
+# The quick suite: nn micro-benchmarks, the fleet serving comparison, and
+# the regimes x chaos scenario matrix (all run in seconds; the
+# experiment-regeneration targets need --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
+    str(BENCH_DIR / "test_scenario_matrix.py"),
 ]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_nn.json"

@@ -1,0 +1,45 @@
+"""Scenario-matrix benchmark: regimes × chaos policies at tiny scale.
+
+Times one full :func:`~repro.eval.scenarios.run_scenario_suite` pass —
+corpus generation per regime, fleet builds (``fast_setup``), and the
+schedule replay under each chaos policy — so regressions in the chaos or
+regime layers show up in the committed baseline comparison just like the
+serving-path ones.  Determinism is asserted alongside: the suite is the
+one surface that composes every fault stream, so a flaky mean here is
+itself a bug signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ExperimentScale, run_scenario_suite
+
+REGIMES = ("campus", "commuter", "tourist")
+POLICIES = ("none", "hostile")
+
+
+def _run():
+    return run_scenario_suite(
+        ExperimentScale.tiny(),
+        regimes=REGIMES,
+        policies=POLICIES,
+        queries_per_user=3,
+        fast_setup=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_suite():
+    return _run()
+
+
+def test_scenario_suite_tiny(benchmark, reference_suite):
+    suite = benchmark(_run)
+    assert len(suite.results) == len(REGIMES) * len(POLICIES)
+    assert all(0.0 <= cell.hit_rate <= 1.0 for cell in suite.results)
+    # Bit determinism across repeated runs (benchmark rounds included).
+    for cell, reference in zip(suite.results, reference_suite.results):
+        assert cell.signature == reference.signature
+        assert cell.chaos == reference.chaos
+        assert cell.hit_rate == reference.hit_rate

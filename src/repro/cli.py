@@ -6,6 +6,7 @@ Commands mirror the reproduction workflow:
 * ``demo``       — run the end-to-end train/personalize/attack/defend story;
 * ``experiment`` — regenerate one paper table/figure by id;
 * ``fleet``      — simulate fleet-scale serving: batched vs. looped queries;
+* ``scenarios``  — stress matrix: mobility regimes × chaos policies;
 * ``list``       — list the available experiment ids.
 
 Examples::
@@ -14,6 +15,8 @@ Examples::
     python -m repro demo --seed 7
     python -m repro experiment table3 --scale tiny
     python -m repro fleet --scale tiny --fast
+    python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
+        --policies none lossy_network churn --fast
     python -m repro list
 """
 
@@ -201,6 +204,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if result.parity else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the regimes × chaos-policies stress matrix and print it."""
+    from repro.eval import render_scenarios, run_scenario_suite
+
+    if args.capacity < 0:
+        print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
+        return 2
+    capacity = args.capacity if args.capacity > 0 else None
+    print(
+        f"[scenarios] {len(args.regimes)} regimes x {len(args.policies)} policies "
+        f"at scale={args.scale} ({'fast setup, ' if args.fast else ''}"
+        f"{args.queries_per_user} queries/user/tick, chaos seed {args.chaos_seed})..."
+    )
+    suite = run_scenario_suite(
+        _SCALES[args.scale](),
+        regimes=args.regimes,
+        policies=args.policies,
+        queries_per_user=args.queries_per_user,
+        registry_capacity=capacity,
+        fast_setup=args.fast,
+        chaos_seed=args.chaos_seed,
+    )
+    print(render_scenarios(suite))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for name, (_, _, description) in EXPERIMENTS.items():
         print(f"{name:<10} {description}")
@@ -250,6 +279,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="cut training epochs so setup takes seconds (serving-only results)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    from repro.data.regimes import REGIMES
+    from repro.pelican.chaos import CHAOS_POLICIES
+
+    scenarios = sub.add_parser(
+        "scenarios", help="stress matrix: mobility regimes x chaos policies"
+    )
+    scenarios.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    scenarios.add_argument(
+        "--regimes", nargs="+", choices=sorted(REGIMES),
+        default=["campus", "commuter", "tourist"],
+        help="mobility regimes for the served population (default: campus commuter tourist)",
+    )
+    scenarios.add_argument(
+        "--policies", nargs="+", choices=sorted(CHAOS_POLICIES),
+        default=["none", "lossy_network", "churn"],
+        help="chaos policies to replay the workload under (default: none lossy_network churn)",
+    )
+    scenarios.add_argument(
+        "--queries-per-user", type=int, default=4,
+        help="query ticks per onboarded user (default 4)",
+    )
+    scenarios.add_argument(
+        "--capacity", type=int, default=2,
+        help="cloud registry live-model capacity; 0 means unbounded (default 2)",
+    )
+    scenarios.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for every fault draw (default 0)",
+    )
+    scenarios.add_argument(
+        "--fast", action="store_true",
+        help="cut training epochs so setup takes seconds (serving-only results)",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     lister = sub.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

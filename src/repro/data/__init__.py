@@ -35,6 +35,13 @@ from repro.data.mobility import (
     Visit,
     simulate_population,
 )
+from repro.data.regimes import (
+    REGIMES,
+    MobilityRegime,
+    generate_regime_corpus,
+    resolve_regime,
+    sample_regime_profile,
+)
 from repro.data.sessions import (
     APSession,
     LocationSession,
@@ -56,6 +63,8 @@ __all__ = [
     "LocationSession",
     "MINUTES_PER_DAY",
     "MobilityCorpus",
+    "MobilityRegime",
+    "REGIMES",
     "RoutineMobilityModel",
     "SequenceDataset",
     "SessionFeatures",
@@ -76,7 +85,10 @@ __all__ = [
     "entry_bin_to_minute",
     "extract_trajectory",
     "generate_corpus",
+    "generate_regime_corpus",
     "location_marginals",
+    "resolve_regime",
+    "sample_regime_profile",
     "simulate_population",
     "visits_to_ap_sessions",
 ]

@@ -9,7 +9,7 @@ models), with trajectories available at both spatial levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,8 +91,20 @@ class MobilityCorpus:
         return {uid: self.user_dataset(uid, level) for uid in self.personal_ids}
 
 
-def generate_corpus(config: CorpusConfig | None = None) -> MobilityCorpus:
-    """Generate a full synthetic corpus from a config (deterministic)."""
+def generate_corpus(
+    config: CorpusConfig | None = None,
+    personal_profile_fn: Optional[
+        Callable[[RoutineMobilityModel, int], UserProfile]
+    ] = None,
+) -> MobilityCorpus:
+    """Generate a full synthetic corpus from a config (deterministic).
+
+    ``personal_profile_fn`` optionally replaces profile sampling for the
+    *personal* users only (contributors always follow the campus default,
+    so the general model is trained on a typical population).  This is the
+    hook :func:`repro.data.regimes.generate_regime_corpus` uses to sweep
+    mobility regimes.
+    """
     config = config or CorpusConfig()
     rng = np.random.default_rng(config.seed)
     campus = CampusTopology.generate(rng, num_buildings=config.num_buildings)
@@ -102,7 +114,11 @@ def generate_corpus(config: CorpusConfig | None = None) -> MobilityCorpus:
     profiles: Dict[int, UserProfile] = {}
     ap_sessions: Dict[int, List[APSession]] = {}
     for user_id in range(total_users):
-        profile = model.make_profile(user_id)
+        is_personal = user_id >= config.num_contributors
+        if is_personal and personal_profile_fn is not None:
+            profile = personal_profile_fn(model, user_id)
+        else:
+            profile = model.make_profile(user_id)
         profiles[user_id] = profile
         visits = model.simulate(profile, config.num_days)
         ap_sessions[user_id] = visits_to_ap_sessions(

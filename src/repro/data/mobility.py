@@ -90,12 +90,16 @@ class RoutineMobilityModel:
         user_id: int,
         routine_strength: Optional[float] = None,
         sociability: Optional[float] = None,
+        explore_pool_size: Optional[int] = None,
     ) -> UserProfile:
         """Sample a user's weekly routine.
 
         Behavioural knobs default to wide uniform ranges so a population
         exhibits the diversity of predictability/mobility the paper's
-        per-user analyses (Fig 3b/3c) require.
+        per-user analyses (Fig 3b/3c) require.  ``explore_pool_size``
+        overrides how many buildings the personal excursion pool holds
+        (capped by campus size) — mobility regimes use it to widen or
+        narrow off-routine wandering.
         """
         rng = self.rng
         dorms = self.campus.buildings_of_kind(BuildingKind.DORM)
@@ -136,7 +140,9 @@ class RoutineMobilityModel:
         n_hang = min(len(hangout_pool), int(rng.integers(1, 4)))
         hangouts = list(rng.choice(hangout_pool, size=n_hang, replace=False).astype(int))
 
-        n_explore = min(self.campus.num_buildings, int(rng.integers(8, 16)))
+        if explore_pool_size is None:
+            explore_pool_size = int(rng.integers(8, 16))
+        n_explore = max(1, min(self.campus.num_buildings, explore_pool_size))
         explore_pool = list(
             rng.choice(self.campus.num_buildings, size=n_explore, replace=False).astype(int)
         )

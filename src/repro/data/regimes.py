@@ -1,0 +1,175 @@
+"""Parameterized mobility regimes beyond the campus default (DESIGN.md §8).
+
+The paper evaluates on one well-behaved campus population.  A production
+fleet serves populations that differ wildly along the two axes the paper's
+per-user analyses identify — *predictability* (Fig 3c: routine strength)
+and *degree of mobility* (Fig 3b: how many places, how often).  A
+:class:`MobilityRegime` is a named point on those axes: a distribution
+over the existing :class:`~repro.data.mobility.UserProfile` knobs plus two
+structural transforms (time-shifted schedules, resized excursion pools),
+so regime corpora come out of the *same* simulator with the same
+determinism guarantees.
+
+Regimes apply to the **personal** (served/attacked) users only; the
+contributor population that trains the general model always follows the
+campus default.  That mirrors production: the cloud model is trained on a
+typical population, then personalized for whoever shows up.
+
+Presets (:data:`REGIMES`):
+
+* ``campus``       — the paper's default distribution (baseline).
+* ``commuter``     — rigid timetable, few discretionary stops: the most
+  predictable population a fleet will see.
+* ``shift_worker`` — campus-like routine strength, but the schedule is
+  shifted toward evening/night; tests that predictors track *when*
+  structure occurs, not just that it exists.
+* ``tourist``      — weak routine, high sociability, wide excursion pool:
+  low-predictability visitors.
+* ``nomad``        — almost no routine, excursions over the whole campus:
+  the adversarial floor for personalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.corpus import CorpusConfig, MobilityCorpus, generate_corpus
+from repro.data.mobility import MINUTES_PER_DAY, RoutineMobilityModel, UserProfile
+
+
+@dataclass(frozen=True)
+class MobilityRegime:
+    """A named distribution over user-profile knobs.
+
+    ``routine_strength`` / ``sociability`` are uniform sampling ranges for
+    the corresponding :class:`UserProfile` fields.  ``explore_pool_size``
+    bounds the personal off-routine excursion pool (capped by campus
+    size).  ``slot_shift_minutes`` moves every scheduled class/work slot
+    later in the day (clamped so slots stay inside one day), which is how
+    shift-worker populations are modeled without touching the simulator.
+    """
+
+    name: str
+    routine_strength: Tuple[float, float]
+    sociability: Tuple[float, float]
+    explore_pool_size: Tuple[int, int]
+    slot_shift_minutes: int = 0
+    description: str = ""
+
+
+REGIMES: Dict[str, MobilityRegime] = {
+    regime.name: regime
+    for regime in (
+        MobilityRegime(
+            name="campus",
+            routine_strength=(0.60, 0.98),
+            sociability=(0.10, 0.90),
+            explore_pool_size=(8, 15),
+            description="the paper's default population (baseline)",
+        ),
+        MobilityRegime(
+            name="commuter",
+            routine_strength=(0.88, 0.985),
+            sociability=(0.05, 0.30),
+            explore_pool_size=(4, 7),
+            description="rigid timetable, few discretionary stops",
+        ),
+        MobilityRegime(
+            name="shift_worker",
+            routine_strength=(0.80, 0.95),
+            sociability=(0.10, 0.50),
+            explore_pool_size=(6, 10),
+            slot_shift_minutes=8 * 60,
+            description="strong routine shifted toward evening/night",
+        ),
+        MobilityRegime(
+            name="tourist",
+            routine_strength=(0.15, 0.40),
+            sociability=(0.60, 0.95),
+            explore_pool_size=(14, 26),
+            description="weak routine, wide excursion pool",
+        ),
+        MobilityRegime(
+            name="nomad",
+            routine_strength=(0.02, 0.15),
+            sociability=(0.30, 0.70),
+            explore_pool_size=(24, 48),
+            description="near-random movement over the whole campus",
+        ),
+    )
+}
+
+
+def sample_regime_profile(
+    model: RoutineMobilityModel, regime: MobilityRegime, user_id: int
+) -> UserProfile:
+    """Sample one user profile from a regime's knob distribution.
+
+    Draws from the simulator's own generator, so a regime corpus is as
+    deterministic as the default one: same config + same regime ⇒ the
+    same profiles and traces.
+    """
+    rng = model.rng
+    lo, hi = regime.explore_pool_size
+    profile = model.make_profile(
+        user_id,
+        routine_strength=float(rng.uniform(*regime.routine_strength)),
+        sociability=float(rng.uniform(*regime.sociability)),
+        explore_pool_size=int(rng.integers(lo, hi + 1)),
+    )
+    if not regime.slot_shift_minutes:
+        return profile
+    class_slots = {
+        day: sorted(
+            (
+                # Clamp so a shifted slot still ends before midnight;
+                # late slots stack into a contiguous evening shift.
+                min(
+                    start + regime.slot_shift_minutes,
+                    MINUTES_PER_DAY - duration - 10,
+                ),
+                duration,
+                building,
+            )
+            for start, duration, building in slots
+        )
+        for day, slots in profile.class_slots.items()
+    }
+    return replace(profile, class_slots=class_slots)
+
+
+def resolve_regime(regime: Union[str, MobilityRegime, None]) -> MobilityRegime:
+    """Accept a regime, a preset name, or None (→ campus baseline)."""
+    if regime is None:
+        return REGIMES["campus"]
+    if isinstance(regime, MobilityRegime):
+        return regime
+    try:
+        return REGIMES[regime]
+    except KeyError:
+        raise KeyError(
+            f"unknown regime {regime!r}; presets: {sorted(REGIMES)}"
+        ) from None
+
+
+def generate_regime_corpus(
+    config: Optional[CorpusConfig] = None,
+    regime: Union[str, MobilityRegime, None] = None,
+) -> MobilityCorpus:
+    """Generate a corpus whose personal users follow ``regime``.
+
+    Contributors (the general-model training population) keep the campus
+    default, so every regime corpus shares one realistic cloud model and
+    only the *served* population changes — the axis the scenario matrix
+    (:func:`repro.eval.scenarios.run_scenario_suite`) sweeps.
+    """
+    resolved = resolve_regime(regime)
+    return generate_corpus(
+        config,
+        personal_profile_fn=lambda model, user_id: sample_regime_profile(
+            model, resolved, user_id
+        ),
+    )

@@ -38,6 +38,20 @@ DEFAULT_LEVEL = SpatialLevel.BUILDING
 FAST_SETUP_EPOCHS = 2
 
 
+def training_configs(scale: ExperimentScale, fast_setup: bool):
+    """The scale's ``(general, personalization)`` configs, trimmed to
+    :data:`FAST_SETUP_EPOCHS` under ``fast_setup``.  The single definition
+    of what "fast setup" means — shared by the fleet workload builder and
+    the scenario matrix so the two never drift apart."""
+    general, personalization = scale.general, scale.personalization
+    if fast_setup:
+        general = replace(general, epochs=FAST_SETUP_EPOCHS, patience=None)
+        personalization = replace(
+            personalization, epochs=FAST_SETUP_EPOCHS, patience=None
+        )
+    return general, personalization
+
+
 @dataclass
 class FleetWorkload:
     """A deployed fleet plus the concurrent request mix to serve."""
@@ -93,12 +107,7 @@ def build_fleet_workload(
     scale, but setup takes seconds instead of minutes.  Only serving
     results are meaningful under it.
     """
-    general, personalization = scale.general, scale.personalization
-    if fast_setup:
-        general = replace(general, epochs=FAST_SETUP_EPOCHS, patience=None)
-        personalization = replace(
-            personalization, epochs=FAST_SETUP_EPOCHS, patience=None
-        )
+    general, personalization = training_configs(scale, fast_setup)
     corpus = generate_corpus(scale.corpus)
     spec = corpus.spec(DEFAULT_LEVEL)
     pelican = Pelican(

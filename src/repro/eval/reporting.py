@@ -129,6 +129,45 @@ def render_scatter(studies: Dict[str, ScatterStudy]) -> str:
     return "\n".join(lines)
 
 
+def render_scenarios(suite: "ScenarioSuiteResult") -> str:
+    """Scenario-matrix rendering (DESIGN.md §8).
+
+    One row per (regime, chaos policy) cell; the Δ columns compare each
+    faulty run against the same regime's clean baseline, so population
+    effects (rows across regimes) and fault effects (rows within one
+    regime) read separately.
+    """
+    headers = [
+        "regime", "policy", "queries", "hit@k", "Δhit",
+        "net s", "Δnet s", "Δcloud s", "retries", "deferred",
+        "stragglers", "cold-fails",
+    ]
+    rows = []
+    for cell in suite.results:
+        rows.append(
+            [
+                cell.regime,
+                cell.policy,
+                cell.num_queries,
+                f"{cell.hit_rate:.2%}",
+                f"{cell.hit_rate_delta:+.2%}",
+                f"{cell.signature['network_seconds']:.2f}",
+                f"{cell.network_seconds_delta:+.2f}",
+                f"{cell.cloud_seconds_delta:+.3f}",
+                cell.chaos["transfer_retries"],
+                cell.chaos["deferred_events"],
+                cell.chaos["straggler_updates"],
+                cell.chaos["cold_load_failures"],
+            ]
+        )
+    lines = [
+        f"scenario matrix @ {suite.scale} (chaos seed {suite.chaos_seed}): "
+        f"{len(suite.results)} cells",
+        format_table(headers, rows),
+    ]
+    return "\n".join(lines)
+
+
 def render_fleet(result: "FleetThroughputResult") -> str:
     """Fleet serving comparison rendering (DESIGN.md §7)."""
     report = result.report

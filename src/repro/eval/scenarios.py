@@ -1,0 +1,232 @@
+"""Scenario matrix: mobility regimes × chaos policies × scale tiers.
+
+The paper evaluates on one well-behaved campus population over a clean
+network.  :func:`run_scenario_suite` is the stress-testing counterpart:
+for every requested mobility regime (:data:`repro.data.regimes.REGIMES`)
+it stands up a fleet on a regime-specific corpus, replays one fixed
+interleaved workload under every requested chaos policy
+(:data:`repro.pelican.chaos.CHAOS_POLICIES`), and reports serving
+accuracy and per-side cost *deltas against the same regime's clean run* —
+so the output separates what the population costs from what the faults
+cost.
+
+Everything is seeded: the same scale, regimes, policies, and chaos seed
+reproduce identical signatures (the ``scenarios`` CLI subcommand and
+``tests/eval/test_scenarios.py`` rely on this).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.corpus import MobilityCorpus
+from repro.data.dataset import SequenceDataset
+from repro.data.features import SpatialLevel
+from repro.data.regimes import resolve_regime, generate_regime_corpus
+from repro.eval.config import ExperimentScale
+from repro.eval.fleet import training_configs
+from repro.pelican.chaos import ChaosFleet, chaos_policy
+from repro.pelican.deployment import DeploymentMode
+from repro.pelican.fleet import FleetSchedule
+from repro.pelican.system import Pelican, PelicanConfig
+
+LEVEL = SpatialLevel.BUILDING
+
+
+@dataclass
+class ScenarioResult:
+    """One (regime, policy) cell of the matrix."""
+
+    regime: str
+    policy: str
+    scale: str
+    num_users: int
+    num_queries: int
+    k: int
+    #: Fraction of queries whose true next location was in the served top-k.
+    hit_rate: float
+    signature: Dict[str, Any]
+    chaos: Dict[str, Any]
+    # Deltas vs the same regime's clean ("none"-policy) run; zero there.
+    hit_rate_delta: float = 0.0
+    network_seconds_delta: float = 0.0
+    cloud_seconds_delta: float = 0.0
+    device_seconds_delta: float = 0.0
+    registry_load_seconds_delta: float = 0.0
+
+
+@dataclass
+class ScenarioSuiteResult:
+    """The full regimes × policies matrix at one scale tier."""
+
+    scale: str
+    chaos_seed: int
+    results: List[ScenarioResult]
+
+    def cell(self, regime: str, policy: str) -> ScenarioResult:
+        for result in self.results:
+            if result.regime == regime and result.policy == policy:
+                return result
+        raise KeyError(f"no scenario cell ({regime!r}, {policy!r})")
+
+
+def build_scenario_schedule(
+    corpus: MobilityCorpus,
+    splits: Dict[int, Tuple[SequenceDataset, SequenceDataset]],
+    queries_per_user: int = 4,
+    k: int = 3,
+) -> Tuple[FleetSchedule, Dict[int, int]]:
+    """The canonical scenario workload plus its ground truth.
+
+    Devices onboard one per tick (alternating local/cloud deployment so
+    both serving sides and the registry are exercised), then every device
+    queries once per tick for ``queries_per_user`` ticks spaced 10 clock
+    units apart — wide enough that offline windows (duration ~12) defer
+    events across ticks.  One incremental update lands mid-run.  Returns
+    ``(schedule, targets)`` where ``targets[seq]`` is the query event's
+    true next location, for scoring served responses.
+    """
+    schedule = FleetSchedule()
+    targets: Dict[int, int] = {}
+    for i, uid in enumerate(corpus.personal_ids):
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        schedule.onboard(float(i), uid, splits[uid][0], deployment=mode)
+    # Query ticks start strictly after the last onboard, whatever the
+    # population size — a query must never precede its user's onboard.
+    tick = float(len(corpus.personal_ids)) + 10.0
+    for j in range(queries_per_user):
+        for uid in corpus.personal_ids:
+            holdout = splits[uid][1]
+            window = holdout.windows[j % len(holdout.windows)]
+            targets[len(schedule)] = window.target
+            schedule.query(tick, uid, window.history, k=k)
+        if queries_per_user > 1 and j == queries_per_user // 2 - 1:
+            first = corpus.personal_ids[0]
+            schedule.update(tick + 5.0, first, splits[first][1])
+        tick += 10.0
+    return schedule, targets
+
+
+def _trained_pelican(scale: ExperimentScale, corpus: MobilityCorpus, fast_setup: bool):
+    """General training happens once per *suite*: regimes only reshape the
+    personal users (contributors are bit-identical across regime corpora,
+    see :func:`repro.data.regimes.generate_regime_corpus`) and chaos never
+    affects training, so every cell starts from a deepcopy of this state."""
+    general, personalization = training_configs(scale, fast_setup)
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    training_report = pelican.initial_training(train)
+    return pelican, training_report
+
+
+def _run_cell(
+    pelican: Pelican,
+    training_report,
+    schedule: FleetSchedule,
+    targets: Dict[int, int],
+    policy_name: str,
+    chaos_seed: int,
+    registry_capacity: Optional[int],
+) -> Tuple[ChaosFleet, float, int]:
+    fleet = ChaosFleet(
+        copy.deepcopy(pelican),
+        policy=chaos_policy(policy_name, seed=chaos_seed),
+        registry_capacity=registry_capacity,
+    )
+    # Attribute the regime-shared general training to this cell's cloud
+    # book, exactly as Fleet.train_cloud would have.
+    fleet.report.cloud_compute += training_report
+    responses = fleet.run(schedule)
+    hits = sum(
+        1
+        for response in responses
+        if targets[response.seq] in [loc for loc, _ in response.top_k]
+    )
+    hit_rate = hits / len(responses) if responses else 0.0
+    return fleet, hit_rate, len(responses)
+
+
+def run_scenario_suite(
+    scale: ExperimentScale,
+    regimes: Sequence[str] = ("campus", "commuter", "tourist"),
+    policies: Sequence[str] = ("none", "lossy_network", "churn"),
+    queries_per_user: int = 4,
+    registry_capacity: Optional[int] = 2,
+    k: int = 3,
+    fast_setup: bool = True,
+    chaos_seed: int = 0,
+) -> ScenarioSuiteResult:
+    """Cross regimes × chaos policies at one scale tier.
+
+    Each regime gets its own corpus and one fixed schedule; every policy
+    replays that exact workload (the chaos layer only perturbs timing and
+    cost), so within a regime the cells are directly comparable.  The
+    clean baseline (policy ``none``) is always computed — even when not
+    requested — because every faulty cell reports deltas against it.
+    """
+    results: List[ScenarioResult] = []
+    pelican = training_report = None
+    for regime_name in regimes:
+        regime = resolve_regime(regime_name)
+        corpus = generate_regime_corpus(scale.corpus, regime)
+        splits = {
+            uid: corpus.user_dataset(uid, LEVEL).split(0.8)
+            for uid in corpus.personal_ids
+        }
+        schedule, targets = build_scenario_schedule(
+            corpus, splits, queries_per_user=queries_per_user, k=k
+        )
+        if pelican is None:
+            pelican, training_report = _trained_pelican(scale, corpus, fast_setup)
+
+        def run_one(policy_name: str) -> ScenarioResult:
+            fleet, hit_rate, num_queries = _run_cell(
+                pelican, training_report, schedule, targets, policy_name,
+                chaos_seed, registry_capacity,
+            )
+            return ScenarioResult(
+                regime=regime.name,
+                policy=policy_name,
+                scale=scale.name,
+                num_users=len(corpus.personal_ids),
+                num_queries=num_queries,
+                k=k,
+                hit_rate=hit_rate,
+                signature=fleet.report.signature(),
+                chaos=fleet.chaos.signature(),
+            )
+
+        baseline = run_one("none")
+        for policy_name in policies:
+            if policy_name == "none":
+                results.append(baseline)
+                continue
+            cell = run_one(policy_name)
+            cell.hit_rate_delta = cell.hit_rate - baseline.hit_rate
+            cell.network_seconds_delta = (
+                cell.signature["network_seconds"]
+                - baseline.signature["network_seconds"]
+            )
+            cell.cloud_seconds_delta = (
+                cell.signature["cloud_simulated_seconds"]
+                - baseline.signature["cloud_simulated_seconds"]
+            )
+            cell.device_seconds_delta = (
+                cell.signature["device_simulated_seconds"]
+                - baseline.signature["device_simulated_seconds"]
+            )
+            cell.registry_load_seconds_delta = (
+                cell.signature["registry_load_seconds"]
+                - baseline.signature["registry_load_seconds"]
+            )
+            results.append(cell)
+    return ScenarioSuiteResult(scale=scale.name, chaos_seed=chaos_seed, results=results)

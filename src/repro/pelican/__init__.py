@@ -6,9 +6,19 @@ cloud), incremental model updates, simulated device/cloud transport, and
 — above the per-user orchestrator — the fleet-scale serving layer
 (:mod:`repro.pelican.fleet`, DESIGN.md §7): batched multi-user query
 dispatch, a cloud-side model registry with LRU eviction, and a
-deterministic event clock for interleaved workloads.
+deterministic event clock for interleaved workloads — plus seeded fault
+injection over all of it (:mod:`repro.pelican.chaos`, DESIGN.md §8).
 """
 
+from repro.pelican.chaos import (
+    CHAOS_POLICIES,
+    ChaosFleet,
+    ChaosPolicy,
+    ChaosStats,
+    FaultyChannel,
+    FlakyModelRegistry,
+    chaos_policy,
+)
 from repro.pelican.cloud import CloudTrainer, ResourceReport
 from repro.pelican.defenses import (
     GaussianNoiseDefense,
@@ -58,9 +68,15 @@ from repro.pelican.transport import Channel, TransferRecord
 from repro.pelican.updates import UpdateResult, update_personal_model
 
 __all__ = [
+    "CHAOS_POLICIES",
     "CLOUD_SERVER",
     "Channel",
+    "ChaosFleet",
+    "ChaosPolicy",
+    "ChaosStats",
     "CloudTrainer",
+    "FaultyChannel",
+    "FlakyModelRegistry",
     "DEFAULT_PRIVACY_TEMPERATURE",
     "DeploymentMode",
     "EventKind",
@@ -91,6 +107,7 @@ __all__ = [
     "TransferRecord",
     "UpdateResult",
     "apply_privacy",
+    "chaos_policy",
     "confidence_sharpness",
     "deploy_cloud",
     "deploy_local",

@@ -1,0 +1,430 @@
+"""Fault injection over the fleet serving layer (DESIGN.md §8).
+
+Real fleets see device churn, lossy links, straggler updates, and a cloud
+whose checkpoint store occasionally times out.  This module replays those
+conditions on top of the deterministic event clock, without giving up the
+properties PR 2 established:
+
+* **Bit determinism.**  Every fault decision is drawn from an RNG keyed by
+  ``(policy seed, stream, stable event identifiers)`` — never by wall
+  clock or call order across components — so the same policy, seed, and
+  schedule reproduce the identical faulty run: same responses, same
+  :meth:`~repro.pelican.fleet.FleetReport.signature`, same chaos counters.
+* **Cost-only faults.**  Faults change *when* events execute and *what*
+  they cost (retried packets, re-fetched checkpoints), never the answers:
+  a deferred query is served by the same model state it would have seen at
+  its effective time, and every retry flows through the existing
+  accounting boundaries (the channel totals, the registry's load seconds),
+  so clean and faulty runs are signature-comparable field by field.
+* **Null identity.**  A :class:`ChaosPolicy` with all probabilities at
+  zero is byte-for-byte indistinguishable from running without the chaos
+  layer — the fuzz harness (``tests/pelican/test_fleet_fuzz.py``) holds
+  this invariant over generated schedules.
+
+What is simulated vs real: packet loss is modeled as per-transfer retry
+*cost* (extra round trips and resent bytes), not as data corruption;
+offline windows defer a device's events to the window's end (its event
+queue is serial, so ordering within a user is preserved); cold-load
+failures re-charge the storage fetch.  Nothing is ever dropped — a
+production system would eventually serve these requests, and keeping them
+makes accuracy comparable across chaos policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
+from repro.pelican.fleet import (
+    EventKind,
+    Fleet,
+    FleetEvent,
+    FleetSchedule,
+    QueryResponse,
+)
+from repro.pelican.registry import ModelRegistry
+from repro.pelican.system import Pelican
+from repro.pelican.transport import Channel
+
+# Stable stream ids for per-decision RNG derivation.  Never renumber:
+# committed golden runs depend on them.
+_STREAM_TRANSFER = 1
+_STREAM_COLD_LOAD = 2
+_STREAM_OFFLINE = 3
+_STREAM_STRAGGLER = 4
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded fault-injection knobs for one hostile condition.
+
+    All probabilities default to zero — the null policy injects nothing
+    and is exactly equivalent to running without the chaos layer.
+    """
+
+    name: str = "none"
+    seed: int = 0
+    #: Per-attempt chance a transfer fails and must be resent (costing one
+    #: extra round trip plus the payload bytes), up to ``max_retries``.
+    drop_probability: float = 0.0
+    max_retries: int = 3
+    #: Expected offline windows per device over the schedule horizon; any
+    #: event falling inside a window is deferred to the window's end.
+    offline_window_rate: float = 0.0
+    offline_window_duration: float = 10.0
+    #: Chance an UPDATE event arrives late (a straggler device).
+    straggler_probability: float = 0.0
+    straggler_delay: float = 20.0
+    #: Per-attempt chance a registry cold load fails and re-fetches, up to
+    #: ``max_cold_load_attempts`` total attempts.
+    cold_load_failure_probability: float = 0.0
+    max_cold_load_attempts: int = 3
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever fire under this policy."""
+        return (
+            self.drop_probability <= 0.0
+            and self.offline_window_rate <= 0.0
+            and self.straggler_probability <= 0.0
+            and self.cold_load_failure_probability <= 0.0
+        )
+
+    def rng(self, stream: int, *keys: int) -> np.random.Generator:
+        """A generator keyed by (seed, stream, keys): order-independent
+        determinism — the same decision point always sees the same draws,
+        no matter what other chaos components did before it."""
+        return np.random.default_rng((self.seed, stream, *(int(k) for k in keys)))
+
+
+#: Named hostile conditions the scenario matrix crosses with regimes.
+CHAOS_POLICIES: Dict[str, ChaosPolicy] = {
+    policy.name: policy
+    for policy in (
+        ChaosPolicy(name="none"),
+        ChaosPolicy(name="lossy_network", drop_probability=0.25, max_retries=4),
+        ChaosPolicy(
+            name="flaky_cloud",
+            cold_load_failure_probability=0.35,
+            max_cold_load_attempts=3,
+            straggler_probability=0.5,
+            straggler_delay=15.0,
+        ),
+        ChaosPolicy(
+            name="churn",
+            offline_window_rate=2.0,
+            offline_window_duration=12.0,
+            straggler_probability=0.3,
+            straggler_delay=20.0,
+        ),
+        ChaosPolicy(
+            name="hostile",
+            drop_probability=0.25,
+            max_retries=4,
+            offline_window_rate=2.0,
+            offline_window_duration=12.0,
+            straggler_probability=0.5,
+            straggler_delay=20.0,
+            cold_load_failure_probability=0.35,
+            max_cold_load_attempts=3,
+        ),
+    )
+}
+
+
+def chaos_policy(name: str, seed: int = 0) -> ChaosPolicy:
+    """A preset policy by name, reseeded for this run."""
+    try:
+        preset = CHAOS_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos policy {name!r}; presets: {sorted(CHAOS_POLICIES)}"
+        ) from None
+    return replace(preset, seed=seed)
+
+
+@dataclass
+class ChaosStats:
+    """Everything the chaos layer did to one run (all deterministic)."""
+
+    transfer_retries: int = 0
+    retry_bytes: int = 0
+    retry_seconds: float = 0.0
+    cold_load_failures: int = 0
+    cold_load_retry_seconds: float = 0.0
+    offline_windows: int = 0
+    deferred_events: int = 0
+    straggler_updates: int = 0
+
+    def signature(self) -> Dict[str, Any]:
+        """Deterministic projection, merged into the fleet signature."""
+        return {
+            "transfer_retries": self.transfer_retries,
+            "retry_bytes": self.retry_bytes,
+            "retry_seconds": self.retry_seconds,
+            "cold_load_failures": self.cold_load_failures,
+            "cold_load_retry_seconds": self.cold_load_retry_seconds,
+            "offline_windows": self.offline_windows,
+            "deferred_events": self.deferred_events,
+            "straggler_updates": self.straggler_updates,
+        }
+
+
+@dataclass
+class FaultyChannel(Channel):
+    """A :class:`Channel` whose transfers may need packet-level retries.
+
+    Each of a record's ``count`` logical transfers independently draws its
+    retry count (keyed by a monotone per-channel transfer index), and every
+    retry resends the payload and pays one extra round trip — so lossy
+    links inflate both byte and second totals through the *existing*
+    accounting, keeping faulty runs signature-comparable with clean ones.
+    With ``drop_probability`` zero the behaviour (and the books) are
+    identical to the base channel.
+    """
+
+    policy: ChaosPolicy = field(default_factory=ChaosPolicy)
+    chaos: ChaosStats = field(default_factory=ChaosStats)
+    _draws: int = 0
+
+    @classmethod
+    def wrap(
+        cls, channel: Channel, policy: ChaosPolicy, chaos: ChaosStats
+    ) -> "FaultyChannel":
+        """Take over an existing channel, preserving its recorded traffic."""
+        faulty = cls(
+            bandwidth_mbps=channel.bandwidth_mbps,
+            rtt_ms=channel.rtt_ms,
+            policy=policy,
+            chaos=chaos,
+        )
+        faulty.records = channel.records
+        faulty._bytes = dict(channel._bytes)
+        faulty._seconds = channel.total_simulated_seconds
+        faulty._count = channel.transfer_count
+        return faulty
+
+    def _transfer(
+        self, direction: str, num_bytes: int, label: str, count: int = 1
+    ) -> float:
+        probability = self.policy.drop_probability
+        if probability <= 0.0:
+            return super()._transfer(direction, num_bytes, label, count)
+        bytes_each = num_bytes // count
+        retries = 0
+        for i in range(count):
+            rng = self.policy.rng(_STREAM_TRANSFER, self._draws + i)
+            attempt = 0
+            while attempt < self.policy.max_retries and rng.random() < probability:
+                attempt += 1
+            retries += attempt
+        self._draws += count
+        if not retries:
+            return super()._transfer(direction, num_bytes, label, count)
+        extra_bytes = retries * bytes_each
+        seconds = super()._transfer(
+            direction, num_bytes + extra_bytes, label, count + retries
+        )
+        self.chaos.transfer_retries += retries
+        self.chaos.retry_bytes += extra_bytes
+        self.chaos.retry_seconds += self._cost_seconds(extra_bytes, retries)
+        return seconds
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> tuple:
+        """Also snapshot the draw index and retry counters, so parity
+        re-runs (``serve_looped``) replay the same fault sequence and
+        leave the chaos books untouched."""
+        return (
+            *super().checkpoint(),
+            self._draws,
+            self.chaos.transfer_retries,
+            self.chaos.retry_bytes,
+            self.chaos.retry_seconds,
+        )
+
+    def rollback(self, state: tuple) -> None:
+        super().rollback(state[:4])
+        (
+            self._draws,
+            self.chaos.transfer_retries,
+            self.chaos.retry_bytes,
+            self.chaos.retry_seconds,
+        ) = state[4:]
+
+
+class FlakyModelRegistry(ModelRegistry):
+    """A :class:`ModelRegistry` whose checkpoint store sometimes fails.
+
+    A cold load may need up to ``max_cold_load_attempts`` fetches; every
+    failed attempt re-charges the storage fetch seconds (the rebuild
+    itself still happens once, bit-identically — failures cost time,
+    never answers).  Draws are keyed by ``(user, fetch index)``.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int],
+        seed: int,
+        policy: ChaosPolicy,
+        chaos: ChaosStats,
+        storage_mbps: float = 400.0,
+    ) -> None:
+        super().__init__(capacity=capacity, seed=seed, storage_mbps=storage_mbps)
+        self.policy = policy
+        self.chaos = chaos
+        self._fetches = 0
+
+    def _fetch_seconds(self, user_id: int, blob: bytes) -> float:
+        base = super()._fetch_seconds(user_id, blob)
+        self._fetches += 1
+        probability = self.policy.cold_load_failure_probability
+        if probability <= 0.0:
+            return base
+        rng = self.policy.rng(_STREAM_COLD_LOAD, user_id, self._fetches)
+        failures = 0
+        while (
+            failures < self.policy.max_cold_load_attempts - 1
+            and rng.random() < probability
+        ):
+            failures += 1
+        if failures:
+            self.chaos.cold_load_failures += failures
+            self.chaos.cold_load_retry_seconds += failures * base
+        return (1 + failures) * base
+
+
+class ChaosFleet(Fleet):
+    """A :class:`Fleet` running under a fault-injection policy.
+
+    Swaps the shared channel for a :class:`FaultyChannel` (re-pointing any
+    already-deployed endpoints), substitutes a :class:`FlakyModelRegistry`,
+    and perturbs every schedule through :meth:`perturb` before replaying it
+    on the base event clock.  Under the null policy all three are exact
+    identities, so ``ChaosFleet(pelican, ChaosPolicy())`` behaves
+    byte-for-byte like ``Fleet(pelican)``.
+
+    Like the base :class:`Fleet`, construction **takes ownership** of
+    ``pelican`` — and more invasively: its channel (and every deployed
+    endpoint's channel reference) is permanently rewired to the faulty
+    one.  To compare policies over one expensively-trained Pelican, hand
+    each fleet its own ``copy.deepcopy`` (what
+    :func:`repro.eval.scenarios.run_scenario_suite` and the fuzz harness
+    do) instead of re-wrapping the same instance.
+    """
+
+    def __init__(
+        self,
+        pelican: Pelican,
+        policy: ChaosPolicy,
+        registry_capacity: Optional[int] = 64,
+        cloud_profile: DeviceProfile = CLOUD_SERVER,
+        device_profile: DeviceProfile = LOW_END_PHONE,
+    ) -> None:
+        self.policy = policy
+        self.chaos = ChaosStats()
+        faulty = FaultyChannel.wrap(pelican.channel, policy, self.chaos)
+        pelican.channel = faulty
+        for user in pelican.users.values():
+            if user.endpoint.channel is not None:
+                user.endpoint.channel = faulty
+        super().__init__(
+            pelican,
+            registry_capacity=registry_capacity,
+            cloud_profile=cloud_profile,
+            device_profile=device_profile,
+        )
+
+    def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:
+        return FlakyModelRegistry(
+            capacity=capacity, seed=seed, policy=self.policy, chaos=self.chaos
+        )
+
+    # ------------------------------------------------------------------
+    def signature(self) -> Dict[str, Any]:
+        """Fleet signature plus the chaos counters (all deterministic)."""
+        return {
+            **self.report.signature(),
+            **{f"chaos_{k}": v for k, v in self.chaos.signature().items()},
+        }
+
+    def run(self, schedule: FleetSchedule) -> List[QueryResponse]:
+        return super().run(self.perturb(schedule))
+
+    def perturb(self, schedule: FleetSchedule) -> FleetSchedule:
+        """Apply offline windows and straggler delays to a schedule.
+
+        Produces a new schedule with the original sequence numbers, so
+        same-tick ties still resolve identically.  Each device's events
+        stay serially ordered (an offline device's queue drains in order
+        when it reconnects); deferred events landing on one tick coalesce
+        into the same serving batch, exactly like a reconnect burst.
+        """
+        events = schedule.ordered()
+        if not events or self.policy.is_null:
+            return schedule
+        horizon = (events[0].time, events[-1].time)
+        windows = self._offline_windows(events, horizon)
+        perturbed = FleetSchedule()
+        # Per-user last effective (time, seq): a device's event queue is
+        # serial, so nothing may overtake an earlier deferred event.
+        last: Dict[int, Tuple[float, int]] = {}
+        for event in events:
+            time = event.time
+            if (
+                event.kind is EventKind.UPDATE
+                and self.policy.straggler_probability > 0.0
+                and self.policy.rng(_STREAM_STRAGGLER, event.seq).random()
+                < self.policy.straggler_probability
+            ):
+                time += self.policy.straggler_delay
+                self.chaos.straggler_updates += 1
+            for start, end in windows.get(event.user_id, ()):
+                if start <= time < end:
+                    time = end
+            previous = last.get(event.user_id)
+            if previous is not None:
+                prev_time, prev_seq = previous
+                if time < prev_time:
+                    time = prev_time
+                if time == prev_time and event.seq < prev_seq:
+                    # Replay order is (time, seq); an equal-time event with
+                    # a smaller seq would overtake — nudge it just after.
+                    time = float(np.nextafter(prev_time, np.inf))
+            last[event.user_id] = (time, event.seq)
+            if time != event.time:
+                self.chaos.deferred_events += 1
+            perturbed.add(
+                FleetEvent(
+                    time=time,
+                    seq=event.seq,
+                    kind=event.kind,
+                    user_id=event.user_id,
+                    payload=event.payload,
+                    options=event.options,
+                )
+            )
+        return perturbed
+
+    def _offline_windows(
+        self, events: List[FleetEvent], horizon: Tuple[float, float]
+    ) -> Dict[int, List[Tuple[float, float]]]:
+        """Sample each device's offline windows over the schedule horizon."""
+        if self.policy.offline_window_rate <= 0.0:
+            return {}
+        windows: Dict[int, List[Tuple[float, float]]] = {}
+        for user_id in sorted({event.user_id for event in events}):
+            rng = self.policy.rng(_STREAM_OFFLINE, user_id)
+            n = int(rng.poisson(self.policy.offline_window_rate))
+            if not n:
+                continue
+            starts = np.sort(rng.uniform(horizon[0], horizon[1], size=n))
+            windows[user_id] = [
+                (float(s), float(s) + self.policy.offline_window_duration)
+                for s in starts
+            ]
+            self.chaos.offline_windows += n
+        return windows

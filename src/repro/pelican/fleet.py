@@ -101,9 +101,31 @@ class FleetSchedule:
 
     def __init__(self) -> None:
         self._events: List[FleetEvent] = []
+        self._seqs: set = set()
+        self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def add(self, event: FleetEvent) -> "FleetSchedule":
+        """Insert a pre-built event, enforcing ``seq`` uniqueness.
+
+        Same-time ties are broken *only* by ``seq``, so two events sharing
+        one would replay in dict/list-iteration order — silently, and
+        differently after an innocent refactor.  The chaos layer
+        (:meth:`~repro.pelican.chaos.ChaosFleet.perturb`) rebuilds
+        schedules through this entry point with the original sequence
+        numbers preserved.
+        """
+        if event.seq in self._seqs:
+            raise ValueError(
+                f"duplicate event seq {event.seq}: same-time ordering is defined "
+                "by seq alone, so every event in a schedule needs a unique one"
+            )
+        self._seqs.add(event.seq)
+        self._next_seq = max(self._next_seq, event.seq + 1)
+        self._events.append(event)
+        return self
 
     def onboard(
         self, time: float, user_id: int, dataset: SequenceDataset, **options: Any
@@ -138,10 +160,12 @@ class FleetSchedule:
         payload: Any,
         options: Dict[str, Any],
     ) -> None:
-        self._events.append(
+        self.add(
             FleetEvent(
                 time=float(time),
-                seq=len(self._events),
+                # Monotone counter, not len(): builder calls interleave
+                # safely with pre-built events inserted through add().
+                seq=self._next_seq,
                 kind=kind,
                 user_id=user_id,
                 payload=payload,
@@ -255,9 +279,7 @@ class Fleet:
         device_profile: DeviceProfile = LOW_END_PHONE,
     ) -> None:
         self.pelican = pelican
-        self.registry = ModelRegistry(
-            capacity=registry_capacity, seed=pelican.config.seed
-        )
+        self.registry = self._make_registry(registry_capacity, pelican.config.seed)
         self.cloud_profile = cloud_profile
         self.device_profile = device_profile
         self._profiles: Dict[int, DeviceProfile] = {}
@@ -271,6 +293,10 @@ class Fleet:
         for user_id, user in pelican.users.items():
             if user.endpoint.mode == DeploymentMode.CLOUD:
                 self.registry.register(user_id, user.endpoint.predictor.model)
+
+    def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:
+        """Registry factory hook; the chaos layer substitutes a flaky one."""
+        return ModelRegistry(capacity=capacity, seed=seed)
 
     # ------------------------------------------------------------------
     # Lifecycle events

@@ -116,10 +116,18 @@ class ModelRegistry:
             blob, np.random.default_rng(self.seed + user_id)
         )
         self.stats.cold_loads += 1
-        self.stats.simulated_load_seconds += len(blob) * 8 / (self.storage_mbps * 1e6)
+        self.stats.simulated_load_seconds += self._fetch_seconds(user_id, blob)
         self._live[user_id] = model
         self._evict_over_capacity()
         return model
+
+    def _fetch_seconds(self, user_id: int, blob: bytes) -> float:
+        """Simulated cost of fetching one checkpoint from durable storage.
+
+        Overridable hook: the chaos layer's flaky registry charges failed
+        fetch attempts here, on top of this clean baseline.
+        """
+        return len(blob) * 8 / (self.storage_mbps * 1e6)
 
     def evict(self, user_id: int) -> bool:
         """Explicitly drop a live model (the blob stays); True if it was live."""

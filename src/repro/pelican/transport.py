@@ -57,6 +57,14 @@ class Channel:
     _seconds: float = 0.0
     _count: int = 0
 
+    def _cost_seconds(self, num_bytes: int, count: int) -> float:
+        """Link cost of ``count`` round trips carrying ``num_bytes`` total.
+
+        The single definition of the cost model — the fault-injection
+        layer prices its retries through this same formula.
+        """
+        return count * self.rtt_ms / 1000.0 + num_bytes * 8 / (self.bandwidth_mbps * 1e6)
+
     def _transfer(
         self, direction: str, num_bytes: int, label: str, count: int = 1
     ) -> float:
@@ -64,7 +72,7 @@ class Channel:
             raise ValueError("bandwidth must be positive")
         if count <= 0:
             raise ValueError("transfer count must be positive")
-        seconds = count * self.rtt_ms / 1000.0 + num_bytes * 8 / (self.bandwidth_mbps * 1e6)
+        seconds = self._cost_seconds(num_bytes, count)
         self.records.append(
             TransferRecord(
                 direction=direction,

@@ -1,0 +1,126 @@
+"""Tests for parameterized mobility regimes (DESIGN.md §8)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    REGIMES,
+    CorpusConfig,
+    RoutineMobilityModel,
+    generate_regime_corpus,
+    resolve_regime,
+    sample_regime_profile,
+)
+from repro.data.campus import CampusTopology
+from repro.data.mobility import MINUTES_PER_DAY
+
+CONFIG = CorpusConfig(
+    num_buildings=14, num_contributors=3, num_personal_users=3, num_days=10, seed=9
+)
+
+
+def _model(seed=9, num_buildings=14):
+    rng = np.random.default_rng(seed)
+    campus = CampusTopology.generate(rng, num_buildings=num_buildings)
+    return RoutineMobilityModel(campus, rng)
+
+
+class TestRegimeProfiles:
+    @pytest.mark.parametrize("name", sorted(REGIMES))
+    def test_knobs_within_declared_ranges(self, name):
+        regime = REGIMES[name]
+        model = _model()
+        for user_id in range(8):
+            profile = sample_regime_profile(model, regime, user_id)
+            lo, hi = regime.routine_strength
+            assert lo <= profile.routine_strength <= hi
+            lo, hi = regime.sociability
+            assert lo <= profile.sociability <= hi
+            lo, hi = regime.explore_pool_size
+            assert min(lo, model.campus.num_buildings) <= len(profile.explore_pool)
+            assert len(profile.explore_pool) <= min(hi, model.campus.num_buildings)
+            for haunts in profile.weekday_haunts.values():
+                assert set(haunts) <= set(profile.explore_pool)
+
+    def test_shift_worker_slots_move_to_evening(self):
+        """The same timetable shape, displaced by the regime's shift."""
+        model = _model()
+        campus_profile = sample_regime_profile(_model(), REGIMES["campus"], 0)
+        shifted_profile = sample_regime_profile(_model(), REGIMES["shift_worker"], 0)
+        # Same underlying draw sequence -> same slot structure per day.
+        for day in range(5):
+            campus_slots = campus_profile.class_slots[day]
+            shifted_slots = shifted_profile.class_slots[day]
+            assert len(campus_slots) == len(shifted_slots)
+            for (start, duration, _), (s_start, s_duration, _) in zip(
+                campus_slots, shifted_slots
+            ):
+                assert s_duration == duration
+                assert s_start >= start  # never shifted earlier
+                assert s_start + s_duration <= MINUTES_PER_DAY  # stays in-day
+        all_shifted = [
+            start
+            for slots in shifted_profile.class_slots.values()
+            for start, _, _ in slots
+        ]
+        assert all_shifted and min(all_shifted) >= 8 * 60 + 9 * 60 - 60
+
+    def test_commuter_more_routine_than_tourist(self):
+        model = _model()
+        commuters = [
+            sample_regime_profile(model, REGIMES["commuter"], uid).routine_strength
+            for uid in range(6)
+        ]
+        tourists = [
+            sample_regime_profile(model, REGIMES["tourist"], uid).routine_strength
+            for uid in range(6, 12)
+        ]
+        assert min(commuters) > max(tourists)
+
+
+class TestRegimeCorpus:
+    def test_deterministic(self):
+        a = generate_regime_corpus(CONFIG, "nomad")
+        b = generate_regime_corpus(CONFIG, "nomad")
+        for uid in a.personal_ids:
+            assert a.profiles[uid].explore_pool == b.profiles[uid].explore_pool
+            assert a.ap_sessions[uid] == b.ap_sessions[uid]
+
+    def test_contributors_keep_campus_default(self):
+        """The general-model population must not drift with the regime."""
+        regime_corpus = generate_regime_corpus(CONFIG, "commuter")
+        campus_corpus = generate_regime_corpus(CONFIG, "campus")
+        for uid in regime_corpus.contributor_ids:
+            assert (
+                regime_corpus.profiles[uid].routine_strength
+                == campus_corpus.profiles[uid].routine_strength
+            )
+            assert regime_corpus.ap_sessions[uid] == campus_corpus.ap_sessions[uid]
+
+    def test_personal_users_follow_regime(self):
+        corpus = generate_regime_corpus(CONFIG, "commuter")
+        lo, hi = REGIMES["commuter"].routine_strength
+        for uid in corpus.personal_ids:
+            assert lo <= corpus.profiles[uid].routine_strength <= hi
+
+    def test_regime_shapes_trace_statistics(self):
+        """Commuters revisit few places; nomads wander over the campus."""
+        commuter = generate_regime_corpus(CONFIG, "commuter")
+        nomad = generate_regime_corpus(CONFIG, "nomad")
+
+        def mean_distinct(corpus):
+            return np.mean(
+                [
+                    len({s.building_id for s in corpus.ap_sessions[uid]})
+                    for uid in corpus.personal_ids
+                ]
+            )
+
+        assert mean_distinct(nomad) > mean_distinct(commuter)
+
+    def test_resolve_regime(self):
+        assert resolve_regime(None).name == "campus"
+        assert resolve_regime("nomad") is REGIMES["nomad"]
+        assert resolve_regime(REGIMES["tourist"]) is REGIMES["tourist"]
+        with pytest.raises(KeyError, match="unknown regime"):
+            resolve_regime("astronaut")

@@ -216,6 +216,62 @@ class TestAdoption:
         _assert_same_responses(fleet.serve(requests), fleet.serve_looped(requests))
 
 
+class TestScheduleInvariants:
+    def test_duplicate_seq_rejected(self, tiny_corpus):
+        """Same-time ties resolve by seq alone, so a duplicate seq would
+        make replay order silently implementation-defined."""
+        from repro.pelican import EventKind, FleetEvent
+
+        schedule = FleetSchedule()
+        uid = tiny_corpus.personal_ids[0]
+        schedule.query(1.0, uid, (), k=3)  # takes seq 0
+        clone = FleetEvent(
+            time=2.0, seq=0, kind=EventKind.QUERY, user_id=uid, payload=()
+        )
+        with pytest.raises(ValueError, match="duplicate event seq"):
+            schedule.add(clone)
+        schedule.add(
+            FleetEvent(time=2.0, seq=7, kind=EventKind.QUERY, user_id=uid, payload=())
+        )
+        assert len(schedule) == 2
+
+    def test_builder_calls_interleave_with_add(self, tiny_corpus):
+        """The fluent builders skip past explicitly-inserted seqs instead
+        of colliding with them."""
+        from repro.pelican import EventKind, FleetEvent
+
+        schedule = FleetSchedule()
+        uid = tiny_corpus.personal_ids[0]
+        schedule.add(
+            FleetEvent(time=1.0, seq=3, kind=EventKind.QUERY, user_id=uid, payload=())
+        )
+        schedule.query(2.0, uid, (), k=3)
+        schedule.query(3.0, uid, (), k=3)
+        seqs = [e.seq for e in schedule.ordered()]
+        assert seqs == [3, 4, 5]
+
+    def test_same_tick_onboard_then_query_ordering_enforced(self, tiny_corpus):
+        """At one tick, insertion order is execution order: onboard added
+        before query serves it; the reverse order fails fast."""
+        splits = _user_splits(tiny_corpus)
+        uid = tiny_corpus.personal_ids[0]
+        window = splits[uid][1].windows[0]
+
+        fleet = _build_fleet(tiny_corpus, capacity=2)
+        good = FleetSchedule()
+        good.onboard(3.0, uid, splits[uid][0], deployment=DeploymentMode.LOCAL)
+        good.query(3.0, uid, window.history)
+        responses = fleet.run(good)
+        assert len(responses) == 1 and responses[0].user_id == uid
+
+        fleet = _build_fleet(tiny_corpus, capacity=2)
+        bad = FleetSchedule()
+        bad.query(3.0, uid, window.history)  # same tick, but earlier seq
+        bad.onboard(3.0, uid, splits[uid][0], deployment=DeploymentMode.LOCAL)
+        with pytest.raises(KeyError):
+            fleet.run(bad)
+
+
 class TestEventClock:
     def test_same_tick_queries_form_one_batch_per_model(self, tiny_corpus):
         fleet = _build_fleet(tiny_corpus, capacity=2)

@@ -1,0 +1,247 @@
+"""Property-based fuzz harness over the fleet event clock (DESIGN.md §8).
+
+A seeded generator produces random :class:`FleetSchedule` workloads —
+duplicate ticks, mixed ``k``, interleaved updates, out-of-order build
+sequences — and every generated schedule must uphold the invariants the
+fleet layer advertises:
+
+* **batched/looped parity** — replaying the schedule on the event clock
+  returns exactly what a one-query-at-a-time reference replay returns;
+* **accounting conservation** — every query event is served and counted
+  once, and the channel's O(1) running totals equal the sum of its
+  transfer records (bytes charged == bytes recorded);
+* **`serve_looped` neutrality** — the parity reference never perturbs
+  the books;
+* **same-seed determinism** — identical runs produce bit-identical
+  responses and :meth:`FleetReport.signature`;
+* **null-chaos identity** — the chaos layer with zero-probability faults
+  is indistinguishable from no chaos layer.
+
+The schedule count is env-tunable so CI can smoke a subset::
+
+    FLEET_FUZZ_SCHEDULES=10 pytest tests/pelican/test_fleet_fuzz.py
+"""
+
+import copy
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialLevel
+from repro.models import GeneralModelConfig, PersonalizationConfig
+from repro.pelican import (
+    ChaosFleet,
+    ChaosPolicy,
+    DeploymentMode,
+    EventKind,
+    Fleet,
+    FleetSchedule,
+    Pelican,
+    PelicanConfig,
+    QueryRequest,
+)
+
+LEVEL = SpatialLevel.BUILDING
+NUM_SCHEDULES = int(os.environ.get("FLEET_FUZZ_SCHEDULES", "50"))
+#: Lifecycle (onboard-included) schedules are pricier — run a subset.
+NUM_LIFECYCLE_SCHEDULES = max(3, NUM_SCHEDULES // 10)
+
+
+# ----------------------------------------------------------------------
+# Shared artifacts: train once, deepcopy per schedule.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def base(tiny_corpus):
+    """(trained userless pelican, onboarded fleet, splits) — fuzz runs
+    deepcopy these instead of retraining 50 times."""
+    pelican = Pelican(
+        tiny_corpus.spec(LEVEL),
+        PelicanConfig(
+            general=GeneralModelConfig(hidden_size=16, epochs=2, patience=None),
+            personalization=PersonalizationConfig(epochs=2, patience=None),
+            privacy_temperature=1e-3,
+            seed=3,
+        ),
+    )
+    train, _ = tiny_corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    pelican.initial_training(train)
+    splits = {
+        uid: tiny_corpus.user_dataset(uid, LEVEL).split(0.8)
+        for uid in tiny_corpus.personal_ids
+    }
+    pristine = copy.deepcopy(pelican)
+    fleet = Fleet(pelican, registry_capacity=1)  # capacity 1: thrash the cache
+    for i, uid in enumerate(tiny_corpus.personal_ids):
+        mode = DeploymentMode.CLOUD if i % 2 == 0 else DeploymentMode.LOCAL
+        fleet.onboard(uid, splits[uid][0], deployment=mode)
+    return pristine, fleet, splits
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def generate_schedule(corpus, splits, seed, include_onboards=False):
+    """One random workload; everything derives from ``seed``."""
+    rng = np.random.default_rng((7, seed))
+    schedule = FleetSchedule()
+    users = list(corpus.personal_ids)
+    onboard_time = {}
+    if include_onboards:
+        for uid in users:
+            onboard_time[uid] = float(rng.uniform(0.0, 3.0))
+            mode = DeploymentMode.CLOUD if rng.random() < 0.5 else DeploymentMode.LOCAL
+            schedule.onboard(onboard_time[uid], uid, splits[uid][0], deployment=mode)
+    num_events = int(rng.integers(5, 25))
+    include_update = rng.random() < 0.25
+    update_position = int(rng.integers(0, num_events)) if include_update else -1
+    tick = max(onboard_time.values(), default=0.0)
+    for position in range(num_events):
+        # Duplicate ticks are the common case: coalesced serving batches.
+        tick += float(rng.choice([0.0, 0.0, 0.0, 1.0, float(rng.uniform(0.0, 3.0))]))
+        uid = int(rng.choice(users))
+        if position == update_position:
+            schedule.update(tick, uid, splits[uid][1])
+            continue
+        holdout = splits[uid][1]
+        window = holdout.windows[int(rng.integers(0, len(holdout.windows)))]
+        schedule.query(tick, uid, window.history, k=int(rng.integers(1, 5)))
+    return schedule
+
+
+def looped_replay(fleet, schedule):
+    """Executable specification: one accounting-neutral query at a time,
+    at the exact event-clock position each query would run at."""
+    responses = []
+    for event in schedule.ordered():
+        if event.kind is EventKind.QUERY:
+            [response] = fleet.serve_looped(
+                [
+                    QueryRequest(
+                        user_id=event.user_id,
+                        history=event.payload,
+                        k=dict(event.options).get("k", 3),
+                    )
+                ]
+            )
+            responses.append((event, response))
+        elif event.kind is EventKind.UPDATE:
+            fleet.update(event.user_id, event.payload)
+        elif event.kind is EventKind.ONBOARD:
+            fleet.onboard(event.user_id, event.payload, **dict(event.options))
+    return responses
+
+
+def assert_channel_conserved(channel):
+    """The O(1) running totals must equal the sum over transfer records."""
+    assert sum(r.num_bytes for r in channel.records if r.direction == "up") == channel.bytes_up
+    assert sum(r.num_bytes for r in channel.records if r.direction == "down") == channel.bytes_down
+    assert sum(r.count for r in channel.records) == channel.transfer_count
+    np.testing.assert_allclose(
+        sum(r.simulated_seconds for r in channel.records),
+        channel.total_simulated_seconds,
+    )
+
+
+def assert_parity(responses, reference):
+    assert len(responses) == len(reference)
+    for response, (event, looped) in zip(responses, reference):
+        assert response.user_id == event.user_id
+        assert (response.time, response.seq) == (event.time, event.seq)
+        assert [loc for loc, _ in response.top_k] == [loc for loc, _ in looped.top_k]
+        np.testing.assert_allclose(
+            [conf for _, conf in response.top_k],
+            [conf for _, conf in looped.top_k],
+            rtol=1e-9,
+            atol=0.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+def test_generated_schedule_invariants(base, tiny_corpus, seed):
+    _, fleet0, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, seed)
+    events = schedule.ordered()
+    num_queries = sum(1 for e in events if e.kind is EventKind.QUERY)
+    has_update = any(e.kind is EventKind.UPDATE for e in events)
+
+    # --- the batched event-clock run ----------------------------------
+    fleet = copy.deepcopy(fleet0)
+    responses = fleet.run(schedule)
+    assert len(responses) == num_queries
+    assert fleet.report.queries - fleet0.report.queries == num_queries
+    assert_channel_conserved(fleet.pelican.channel)
+    # Every query exchange was charged exactly once: per-endpoint query
+    # counters moved by exactly the events each user issued.  (An UPDATE
+    # redeploys a fresh endpoint with zeroed stats, so the per-endpoint
+    # ledger restarts for updated users; the fleet-level total above
+    # stays conserved regardless.)
+    updated = {e.user_id for e in events if e.kind is EventKind.UPDATE}
+    for uid, user in fleet.pelican.users.items():
+        if uid in updated:
+            continue
+        issued = sum(
+            1 for e in events if e.kind is EventKind.QUERY and e.user_id == uid
+        )
+        baseline = fleet0.pelican.users[uid].endpoint.stats.queries
+        assert user.endpoint.stats.queries - baseline == issued
+
+    # --- parity against the one-query-at-a-time specification ---------
+    reference_fleet = copy.deepcopy(fleet0)
+    reference = looped_replay(reference_fleet, schedule)
+    assert_parity(responses, reference)
+
+    # --- serve_looped neutrality ---------------------------------------
+    if not has_update:
+        # A pure-query reference replay must leave the books untouched.
+        assert (
+            reference_fleet.report.signature() == fleet0.report.signature()
+        )
+        assert reference_fleet.pelican.channel.checkpoint() == (
+            fleet0.pelican.channel.checkpoint()
+        )
+
+    # --- same seed, same schedule => bit-identical run -----------------
+    rerun_fleet = copy.deepcopy(fleet0)
+    rerun = rerun_fleet.run(schedule)
+    assert rerun == responses  # frozen dataclasses: bit-exact confidences
+    assert rerun_fleet.report.signature() == fleet.report.signature()
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 5))
+def test_null_chaos_identical_to_chaos_off(base, tiny_corpus, seed):
+    """chaos-on with zero-probability faults == chaos-off, per schedule."""
+    pristine, _, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, seed, include_onboards=True)
+    plain = Fleet(copy.deepcopy(pristine), registry_capacity=1)
+    chaotic = ChaosFleet(
+        copy.deepcopy(pristine), ChaosPolicy(), registry_capacity=1
+    )
+    assert plain.run(schedule) == chaotic.run(schedule)
+    assert plain.report.signature() == chaotic.report.signature()
+    assert not any(chaotic.chaos.signature().values())
+
+
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_generated_lifecycle_schedule_invariants(base, tiny_corpus, seed):
+    """Full-lifecycle fuzz: onboards land mid-schedule too."""
+    pristine, _, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, 1000 + seed, include_onboards=True)
+    events = schedule.ordered()
+    num_queries = sum(1 for e in events if e.kind is EventKind.QUERY)
+
+    fleet = Fleet(copy.deepcopy(pristine), registry_capacity=1)
+    responses = fleet.run(schedule)
+    assert len(responses) == num_queries
+    assert fleet.report.onboards == len(tiny_corpus.personal_ids)
+    assert_channel_conserved(fleet.pelican.channel)
+
+    reference_fleet = Fleet(copy.deepcopy(pristine), registry_capacity=1)
+    assert_parity(responses, looped_replay(reference_fleet, schedule))
+
+    rerun_fleet = Fleet(copy.deepcopy(pristine), registry_capacity=1)
+    assert rerun_fleet.run(schedule) == responses
+    assert rerun_fleet.report.signature() == fleet.report.signature()

@@ -95,3 +95,67 @@ class TestRegistry:
             registry.register(uid, _model(uid))
         assert registry.stats.evictions == 0
         assert registry.resident_ids == list(range(20))
+
+
+class TestEvictionUnderQueryPressure:
+    """Interleaved queries against more users than the cache can hold.
+
+    A pure-python reference LRU tracks what the registry *should* do at
+    every step; the registry must match it on cold-load counts, residency
+    order, and eviction log — and every reloaded model must answer
+    exactly like the original.
+    """
+
+    USERS = range(5)
+    # Interleaving with re-touches, bursts, and a full rotation — the
+    # shapes fleet serving produces (batch per model, LRU refresh per hit).
+    PATTERN = [0, 1, 2, 0, 3, 1, 4, 0, 2, 3, 4, 4, 1, 0, 2, 1, 3, 0, 4, 2]
+
+    def _run(self, capacity):
+        registry = ModelRegistry(capacity=capacity)
+        originals = {uid: _model(uid) for uid in self.USERS}
+        for uid, model in originals.items():
+            registry.register(uid, model)
+
+        # Reference LRU over the same access sequence (registrations first).
+        live: list = []
+        expected_cold = 0
+        expected_evictions = []
+        for uid in self.USERS:
+            live.append(uid)
+            if len(live) > capacity:
+                expected_evictions.append(live.pop(0))
+        for uid in self.PATTERN:
+            if uid in live:
+                live.remove(uid)
+            else:
+                expected_cold += 1
+            live.append(uid)
+            if len(live) > capacity:
+                expected_evictions.append(live.pop(0))
+            registry.get(uid)
+            assert registry.resident_ids == live  # LRU order, every step
+        return registry, originals, expected_cold, expected_evictions
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    def test_cold_loads_and_lru_order_match_reference(self, capacity):
+        registry, _, expected_cold, expected_evictions = self._run(capacity)
+        assert registry.stats.cold_loads == expected_cold
+        assert registry.stats.eviction_log == expected_evictions
+        assert registry.stats.hits == len(self.PATTERN) - expected_cold
+        assert registry.stats.evictions == len(expected_evictions)
+
+    def test_post_reload_parity_for_every_user(self):
+        registry, originals, _, _ = self._run(capacity=2)
+        batch = np.random.default_rng(1).normal(size=(3, 2, 10))
+        for uid in self.USERS:
+            np.testing.assert_array_equal(
+                registry.get(uid).infer_logits(batch),
+                originals[uid].infer_logits(batch),
+            )
+
+    def test_pressure_run_deterministic(self):
+        a, _, _, _ = self._run(capacity=2)
+        b, _, _, _ = self._run(capacity=2)
+        assert a.stats.eviction_log == b.stats.eviction_log
+        assert a.stats.simulated_load_seconds == b.stats.simulated_load_seconds

@@ -28,6 +28,20 @@ class TestParser:
         assert args.capacity == 64
         assert not args.fast
 
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.scale == "tiny"
+        assert args.regimes == ["campus", "commuter", "tourist"]
+        assert args.policies == ["none", "lossy_network", "churn"]
+        assert args.queries_per_user == 4
+        assert args.chaos_seed == 0
+
+    def test_scenarios_rejects_unknown_regime_and_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--regimes", "astronaut"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--policies", "meteor_strike"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -70,6 +84,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "unbounded" in out
+
+    def test_scenarios_fast_run(self, capsys):
+        code = main(
+            [
+                "scenarios", "--fast",
+                "--regimes", "campus", "nomad",
+                "--policies", "none", "hostile",
+                "--queries-per-user", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario matrix @ tiny" in out
+        assert "nomad" in out and "hostile" in out
+
+    def test_scenarios_capacity_negative_rejected(self, capsys):
+        assert main(["scenarios", "--fast", "--capacity", "-1"]) == 2
+        assert "--capacity" in capsys.readouterr().err
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "bogus"]) == 2
