@@ -17,8 +17,9 @@ Usage::
     # refresh the committed baseline from the current run:
     python benchmarks/run_benchmarks.py --update-baseline
 
-Results are written to ``BENCH_nn.json`` (pytest-benchmark's JSON format)
-and compared against the baseline by test name.
+Results are written to ``benchmarks/BENCH_latest.json`` (pytest-benchmark's
+JSON format; not committed) and compared against the committed baseline by
+test name — every benchmark artifact lives under ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -31,16 +32,18 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-# The quick suite: nn micro-benchmarks, the fleet serving comparison, and
-# the regimes x chaos scenario matrix (all run in seconds; the
-# experiment-regeneration targets need --full).
+# The quick suite: nn micro-benchmarks, the fleet serving comparison, the
+# cluster shard-scaling comparison, and the regimes x chaos scenario
+# matrix (all run in seconds; the experiment-regeneration targets need
+# --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
+    str(BENCH_DIR / "test_cluster_scaling.py"),
     str(BENCH_DIR / "test_scenario_matrix.py"),
 ]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
-OUTPUT_PATH = REPO_ROOT / "BENCH_nn.json"
+OUTPUT_PATH = BENCH_DIR / "BENCH_latest.json"
 
 
 def run_pytest(targets: list[str], output: pathlib.Path) -> int:

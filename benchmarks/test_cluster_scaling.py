@@ -1,0 +1,131 @@
+"""Cluster scaling benchmark: batched serving throughput across shard counts.
+
+Stands up one trained-and-onboarded Pelican deployment at the ``small``
+scale (six personal users, mixed local/cloud deployment, ``fast_setup``
+training) and serves the identical concurrent workload through sharded
+clusters of 1, 2, and 4 shards (DESIGN.md §9).
+
+Two properties are pinned:
+
+* **per-shard parity** — every shard count returns bit-identical
+  responses to the legacy single-``Fleet`` serve on the same requests
+  (placement routes whole users; the dispatcher groups per model; nothing
+  about sharding may change an answer);
+* **throughput holds as shards grow** — batched dispatch stays ≥ the
+  acceptance bar over the looped reference at every shard count (the
+  routing layer is O(requests) bookkeeping, so adding shards must not eat
+  the batching win), and the K-shard serve stays within a small factor of
+  the 1-shard serve.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import pytest
+
+from repro.data.corpus import generate_corpus
+from repro.data.features import SpatialLevel
+from repro.eval import ExperimentScale, responses_match
+from repro.eval.fleet import training_configs
+from repro.pelican import (
+    Cluster,
+    DeploymentMode,
+    Fleet,
+    Pelican,
+    PelicanConfig,
+    QueryRequest,
+)
+
+LEVEL = SpatialLevel.BUILDING
+SHARD_COUNTS = (1, 2, 4)
+QUERIES_PER_USER = 32
+# Same bar (and CI relaxation) as the fleet serving benchmark.
+MIN_SPEEDUP = 1.5 if os.environ.get("CI") else 3.0
+# Routing overhead budget: K-shard batched serve vs 1-shard batched serve.
+MAX_SHARD_OVERHEAD = 4.0 if os.environ.get("CI") else 2.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """One trained + onboarded Pelican, its request mix, and per-K clusters.
+
+    Training happens once; every shard count adopts a deepcopy of the same
+    deployment through ``Cluster.from_trained``, so the comparison across
+    shard counts isolates the routing/serving layer.
+    """
+    scale = ExperimentScale.small()
+    general, personalization = training_configs(scale, fast_setup=True)
+    corpus = generate_corpus(scale.corpus)
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    pelican.initial_training(train)
+    holdouts = {}
+    for i, uid in enumerate(corpus.personal_ids):
+        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        pelican.onboard_user(uid, user_train, deployment=mode)
+        holdouts[uid] = holdout
+    requests = [
+        QueryRequest(user_id=uid, history=tuple(holdout.windows[j % len(holdout.windows)].history), k=3)
+        for j in range(QUERIES_PER_USER)
+        for uid, holdout in holdouts.items()
+    ]
+    fleet = Fleet(copy.deepcopy(pelican))
+    clusters = {
+        num_shards: Cluster.from_trained(copy.deepcopy(pelican), num_shards=num_shards)
+        for num_shards in SHARD_COUNTS
+    }
+    return fleet, clusters, requests
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_cluster_serve_batched(benchmark, deployment, num_shards):
+    """Batched cluster serving, one entry per shard count."""
+    _, clusters, requests = deployment
+    benchmark(clusters[num_shards].serve, requests)
+
+
+def test_cluster_scaling_parity_and_throughput(deployment):
+    """Acceptance: bit-identical answers at every shard count, batched
+    speedup ≥ the bar everywhere, routing overhead bounded."""
+    fleet, clusters, requests = deployment
+
+    def best_of(fn, rounds=5):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn(requests)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    _, reference = best_of(fleet.serve)
+    batched_seconds = {}
+    for num_shards, cluster in clusters.items():
+        looped_seconds, looped = best_of(cluster.serve_looped)
+        seconds, batched = best_of(cluster.serve)
+        batched_seconds[num_shards] = seconds
+        assert batched == reference, (
+            f"{num_shards}-shard serving diverged from the single fleet"
+        )
+        assert responses_match(batched, looped)
+        speedup = looped_seconds / seconds
+        assert speedup >= MIN_SPEEDUP, (
+            f"{num_shards}-shard batched serving only {speedup:.2f}x faster "
+            f"than the loop ({seconds * 1e3:.2f}ms vs {looped_seconds * 1e3:.2f}ms)"
+        )
+    for num_shards in SHARD_COUNTS[1:]:
+        overhead = batched_seconds[num_shards] / batched_seconds[1]
+        assert overhead <= MAX_SHARD_OVERHEAD, (
+            f"{num_shards}-shard batched serve is {overhead:.2f}x the "
+            f"1-shard serve — routing overhead ate the batching win"
+        )

@@ -5,7 +5,8 @@ Commands mirror the reproduction workflow:
 * ``corpus``     — generate a synthetic campus corpus and save it to disk;
 * ``demo``       — run the end-to-end train/personalize/attack/defend story;
 * ``experiment`` — regenerate one paper table/figure by id;
-* ``fleet``      — simulate fleet-scale serving: batched vs. looped queries;
+* ``fleet``      — simulate fleet-scale serving: batched vs. looped queries,
+  on one cloud or a sharded cluster (``--shards``);
 * ``scenarios``  — stress matrix: mobility regimes × chaos policies;
 * ``list``       — list the available experiment ids.
 
@@ -15,8 +16,10 @@ Examples::
     python -m repro demo --seed 7
     python -m repro experiment table3 --scale tiny
     python -m repro fleet --scale tiny --fast
+    python -m repro fleet --scale tiny --fast --shards 4 --placement hash
     python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
         --policies none lossy_network churn --fast
+    python -m repro scenarios --scale tiny --shards 2 --policies none shard_outage --fast
     python -m repro list
 """
 
@@ -27,6 +30,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.data import CorpusConfig, generate_corpus, save_ap_sessions
+from repro.pelican.placement import PLACEMENT_POLICIES
 from repro.eval import (
     ExperimentScale,
     Pipeline,
@@ -186,19 +190,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.capacity < 0:
         print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     scale = _SCALES[args.scale]()
     capacity = args.capacity if args.capacity > 0 else None
+    shards = f", {args.shards} shards ({args.placement})" if args.shards > 1 else ""
     print(
         f"[fleet] building deployment at scale={args.scale} "
         f"({'fast setup, ' if args.fast else ''}"
         f"{args.queries_per_user} queries/user, registry capacity "
-        f"{capacity if capacity is not None else 'unbounded'})..."
+        f"{capacity if capacity is not None else 'unbounded'}{shards})..."
     )
     result = run_fleet_throughput(
         scale,
         queries_per_user=args.queries_per_user,
         registry_capacity=capacity,
         fast_setup=args.fast,
+        num_shards=args.shards,
+        placement=args.placement,
     )
     print(render_fleet(result))
     return 0 if result.parity else 1
@@ -211,11 +221,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.capacity < 0:
         print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     capacity = args.capacity if args.capacity > 0 else None
+    shards = f", {args.shards} shards" if args.shards > 1 else ""
     print(
         f"[scenarios] {len(args.regimes)} regimes x {len(args.policies)} policies "
         f"at scale={args.scale} ({'fast setup, ' if args.fast else ''}"
-        f"{args.queries_per_user} queries/user/tick, chaos seed {args.chaos_seed})..."
+        f"{args.queries_per_user} queries/user/tick, chaos seed "
+        f"{args.chaos_seed}{shards})..."
     )
     suite = run_scenario_suite(
         _SCALES[args.scale](),
@@ -225,6 +240,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         registry_capacity=capacity,
         fast_setup=args.fast,
         chaos_seed=args.chaos_seed,
+        num_shards=args.shards,
+        placement=args.placement,
     )
     print(render_scenarios(suite))
     return 0
@@ -272,7 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--capacity", type=int, default=64,
-        help="cloud registry live-model capacity; 0 means unbounded (default 64)",
+        help="cloud registry live-model capacity per shard; 0 means unbounded (default 64)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=1,
+        help="cloud shard count; >1 serves through a placement-routed cluster (default 1)",
+    )
+    fleet.add_argument(
+        "--placement", choices=sorted(PLACEMENT_POLICIES), default="hash",
+        help="user->shard placement policy when --shards > 1 (default hash)",
     )
     fleet.add_argument(
         "--fast", action="store_true",
@@ -303,7 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--capacity", type=int, default=2,
-        help="cloud registry live-model capacity; 0 means unbounded (default 2)",
+        help="cloud registry live-model capacity per shard; 0 means unbounded (default 2)",
+    )
+    scenarios.add_argument(
+        "--shards", type=int, default=1,
+        help="cloud shard count; >1 replays every cell on a sharded cluster (default 1)",
+    )
+    scenarios.add_argument(
+        "--placement", choices=sorted(PLACEMENT_POLICIES), default="hash",
+        help="user->shard placement policy when --shards > 1 (default hash)",
     )
     scenarios.add_argument(
         "--chaos-seed", type=int, default=0,

@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.data.corpus import generate_corpus
 from repro.data.features import SpatialLevel
 from repro.eval.config import ExperimentScale
+from repro.pelican.accounting import ClusterReport
+from repro.pelican.cluster import Cluster
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.fleet import Fleet, FleetReport, QueryRequest, QueryResponse
 from repro.pelican.system import Pelican, PelicanConfig
@@ -54,15 +56,22 @@ def training_configs(scale: ExperimentScale, fast_setup: bool):
 
 @dataclass
 class FleetWorkload:
-    """A deployed fleet plus the concurrent request mix to serve."""
+    """A deployed serving stack plus the concurrent request mix to serve.
 
-    fleet: Fleet
+    ``fleet`` is a single-cloud :class:`~repro.pelican.fleet.Fleet` when
+    ``num_shards == 1`` (the legacy path, byte-identical to before the
+    cluster layer existed) and a :class:`~repro.pelican.cluster.Cluster`
+    otherwise — both expose the same serving interface.
+    """
+
+    fleet: Union[Fleet, Cluster]
     requests: List[QueryRequest]
     scale_name: str
+    num_shards: int = 1
 
     @property
     def num_users(self) -> int:
-        return len(self.fleet.pelican.users)
+        return self.fleet.num_users
 
 
 @dataclass
@@ -76,7 +85,8 @@ class FleetThroughputResult:
     looped_seconds: float
     batched_seconds: float
     parity: bool
-    report: FleetReport
+    report: Union[FleetReport, ClusterReport]
+    num_shards: int = 1
 
     @property
     def speedup(self) -> float:
@@ -94,13 +104,21 @@ def build_fleet_workload(
     registry_capacity: Optional[int] = 64,
     k: int = 3,
     fast_setup: bool = False,
+    num_shards: int = 1,
+    placement: str = "hash",
 ) -> FleetWorkload:
-    """Stand up a fleet at ``scale`` and derive its query workload.
+    """Stand up a fleet (or sharded cluster) at ``scale`` and derive its
+    query workload.
 
     Personal users alternate local/cloud deployment (so both serving
     sides are exercised) and each contributes ``queries_per_user``
     requests drawn round-robin from their held-out windows — the
     interleaving a cloud actually sees from concurrent devices.
+
+    ``num_shards > 1`` builds a :class:`~repro.pelican.cluster.Cluster`
+    under the given ``placement`` policy instead of a single
+    :class:`~repro.pelican.fleet.Fleet`; responses are bit-identical
+    either way (DESIGN.md §9), only the books shard.
 
     ``fast_setup`` cuts training to :data:`FAST_SETUP_EPOCHS` epochs:
     model *dimensions* (and therefore serving cost) still match the
@@ -110,15 +128,23 @@ def build_fleet_workload(
     general, personalization = training_configs(scale, fast_setup)
     corpus = generate_corpus(scale.corpus)
     spec = corpus.spec(DEFAULT_LEVEL)
-    pelican = Pelican(
-        spec,
-        PelicanConfig(
-            general=general,
-            personalization=personalization,
-            seed=scale.corpus.seed,
-        ),
+    config = PelicanConfig(
+        general=general,
+        personalization=personalization,
+        seed=scale.corpus.seed,
     )
-    fleet = Fleet(pelican, registry_capacity=registry_capacity)
+    if num_shards == 1:
+        fleet: Union[Fleet, Cluster] = Fleet(
+            Pelican(spec, config), registry_capacity=registry_capacity
+        )
+    else:
+        fleet = Cluster(
+            spec,
+            config,
+            num_shards=num_shards,
+            placement=placement,
+            registry_capacity=registry_capacity,
+        )
     train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
     fleet.train_cloud(train)
 
@@ -134,7 +160,9 @@ def build_fleet_workload(
         for uid, holdout in holdouts.items():
             window = holdout.windows[j % len(holdout.windows)]
             requests.append(QueryRequest(user_id=uid, history=tuple(window.history), k=k))
-    return FleetWorkload(fleet=fleet, requests=requests, scale_name=scale.name)
+    return FleetWorkload(
+        fleet=fleet, requests=requests, scale_name=scale.name, num_shards=num_shards
+    )
 
 
 def responses_match(
@@ -170,6 +198,8 @@ def run_fleet_throughput(
     queries_per_user: int = 32,
     registry_capacity: Optional[int] = 64,
     fast_setup: bool = False,
+    num_shards: int = 1,
+    placement: str = "hash",
 ) -> FleetThroughputResult:
     """Build a fleet at ``scale`` and compare both serving paths once."""
     workload = build_fleet_workload(
@@ -177,6 +207,8 @@ def run_fleet_throughput(
         queries_per_user=queries_per_user,
         registry_capacity=registry_capacity,
         fast_setup=fast_setup,
+        num_shards=num_shards,
+        placement=placement,
     )
     fleet, requests = workload.fleet, workload.requests
 
@@ -197,4 +229,5 @@ def run_fleet_throughput(
         batched_seconds=batched_seconds,
         parity=responses_match(batched, looped),
         report=fleet.report,
+        num_shards=workload.num_shards,
     )

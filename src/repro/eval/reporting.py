@@ -160,8 +160,9 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
                 cell.chaos["cold_load_failures"],
             ]
         )
+    shards = f", {suite.num_shards} shards" if suite.num_shards > 1 else ""
     lines = [
-        f"scenario matrix @ {suite.scale} (chaos seed {suite.chaos_seed}): "
+        f"scenario matrix @ {suite.scale} (chaos seed {suite.chaos_seed}{shards}): "
         f"{len(suite.results)} cells",
         format_table(headers, rows),
     ]
@@ -169,10 +170,11 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
 
 
 def render_fleet(result: "FleetThroughputResult") -> str:
-    """Fleet serving comparison rendering (DESIGN.md §7)."""
+    """Fleet serving comparison rendering (DESIGN.md §7/§9)."""
     report = result.report
+    shards = f" on {result.num_shards} shards" if result.num_shards > 1 else ""
     lines = [
-        f"fleet @ {result.scale}: {result.num_users} users, "
+        f"fleet @ {result.scale}: {result.num_users} users{shards}, "
         f"{result.num_queries} queries in {result.batches} batches "
         f"(mean batch {report.mean_batch_size:.1f})",
         f"  looped  serving: {result.looped_seconds * 1e3:9.1f} ms",
@@ -194,4 +196,17 @@ def render_fleet(result: "FleetThroughputResult") -> str:
         f"{report.registry.cold_loads} cold loads, "
         f"{report.registry.evictions} evictions",
     ]
+    if result.num_shards > 1:
+        lines.append("")
+        lines.append("per-shard breakdown:")
+        for shard_id, shard in enumerate(report.shard_reports):
+            lines.append(
+                f"  shard {shard_id}: {shard.onboards} users, "
+                f"{shard.queries} queries in {shard.batches} batches, "
+                f"{shard.cloud_compute.macs / 1e6:.1f} cloud MMACs, "
+                f"{shard.network_seconds:.2f}s network, "
+                f"registry {shard.registry.hits}h/"
+                f"{shard.registry.cold_loads}c/"
+                f"{shard.registry.evictions}e"
+            )
     return "\n".join(lines)

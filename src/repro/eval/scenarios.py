@@ -28,6 +28,7 @@ from repro.data.regimes import resolve_regime, generate_regime_corpus
 from repro.eval.config import ExperimentScale
 from repro.eval.fleet import training_configs
 from repro.pelican.chaos import ChaosFleet, chaos_policy
+from repro.pelican.cluster import Cluster
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.fleet import FleetSchedule
 from repro.pelican.system import Pelican, PelicanConfig
@@ -49,6 +50,7 @@ class ScenarioResult:
     hit_rate: float
     signature: Dict[str, Any]
     chaos: Dict[str, Any]
+    num_shards: int = 1
     # Deltas vs the same regime's clean ("none"-policy) run; zero there.
     hit_rate_delta: float = 0.0
     network_seconds_delta: float = 0.0
@@ -64,6 +66,7 @@ class ScenarioSuiteResult:
     scale: str
     chaos_seed: int
     results: List[ScenarioResult]
+    num_shards: int = 1
 
     def cell(self, regime: str, policy: str) -> ScenarioResult:
         for result in self.results:
@@ -136,15 +139,29 @@ def _run_cell(
     policy_name: str,
     chaos_seed: int,
     registry_capacity: Optional[int],
-) -> Tuple[ChaosFleet, float, int]:
-    fleet = ChaosFleet(
-        copy.deepcopy(pelican),
-        policy=chaos_policy(policy_name, seed=chaos_seed),
-        registry_capacity=registry_capacity,
-    )
-    # Attribute the regime-shared general training to this cell's cloud
-    # book, exactly as Fleet.train_cloud would have.
-    fleet.report.cloud_compute += training_report
+    num_shards: int = 1,
+    placement: str = "hash",
+):
+    policy = chaos_policy(policy_name, seed=chaos_seed)
+    if num_shards == 1:
+        fleet = ChaosFleet(
+            copy.deepcopy(pelican),
+            policy=policy,
+            registry_capacity=registry_capacity,
+        )
+        # Attribute the regime-shared general training to this cell's cloud
+        # book, exactly as Fleet.train_cloud would have.
+        fleet.report.cloud_compute += training_report
+    else:
+        fleet = Cluster.from_trained(
+            copy.deepcopy(pelican),
+            num_shards=num_shards,
+            placement=placement,
+            registry_capacity=registry_capacity,
+            policy=policy,
+        )
+        # Same attribution, at the cluster's training book.
+        fleet.report.training = fleet.report.training + training_report
     responses = fleet.run(schedule)
     hits = sum(
         1
@@ -164,6 +181,8 @@ def run_scenario_suite(
     k: int = 3,
     fast_setup: bool = True,
     chaos_seed: int = 0,
+    num_shards: int = 1,
+    placement: str = "hash",
 ) -> ScenarioSuiteResult:
     """Cross regimes × chaos policies at one scale tier.
 
@@ -172,6 +191,11 @@ def run_scenario_suite(
     cost), so within a regime the cells are directly comparable.  The
     clean baseline (policy ``none``) is always computed — even when not
     requested — because every faulty cell reports deltas against it.
+
+    ``num_shards > 1`` runs every cell on a
+    :class:`~repro.pelican.cluster.Cluster` instead of a single-cloud
+    fleet — the scale axis the matrix sweeps for sharded serving,
+    including shard-outage policies with cross-shard failover.
     """
     results: List[ScenarioResult] = []
     pelican = training_report = None
@@ -192,6 +216,12 @@ def run_scenario_suite(
             fleet, hit_rate, num_queries = _run_cell(
                 pelican, training_report, schedule, targets, policy_name,
                 chaos_seed, registry_capacity,
+                num_shards=num_shards, placement=placement,
+            )
+            chaos = (
+                fleet.merged_chaos()
+                if isinstance(fleet, Cluster)
+                else fleet.chaos.signature()
             )
             return ScenarioResult(
                 regime=regime.name,
@@ -202,7 +232,8 @@ def run_scenario_suite(
                 k=k,
                 hit_rate=hit_rate,
                 signature=fleet.report.signature(),
-                chaos=fleet.chaos.signature(),
+                chaos=chaos,
+                num_shards=num_shards,
             )
 
         baseline = run_one("none")
@@ -229,4 +260,9 @@ def run_scenario_suite(
                 - baseline.signature["registry_load_seconds"]
             )
             results.append(cell)
-    return ScenarioSuiteResult(scale=scale.name, chaos_seed=chaos_seed, results=results)
+    return ScenarioSuiteResult(
+        scale=scale.name,
+        chaos_seed=chaos_seed,
+        results=results,
+        num_shards=num_shards,
+    )

@@ -7,9 +7,13 @@ cloud), incremental model updates, simulated device/cloud transport, and
 (:mod:`repro.pelican.fleet`, DESIGN.md §7): batched multi-user query
 dispatch, a cloud-side model registry with LRU eviction, and a
 deterministic event clock for interleaved workloads — plus seeded fault
-injection over all of it (:mod:`repro.pelican.chaos`, DESIGN.md §8).
+injection over all of it (:mod:`repro.pelican.chaos`, DESIGN.md §8) and
+the sharded cluster layer (:mod:`repro.pelican.cluster`, DESIGN.md §9):
+N shards behind deterministic placement, with outage failover and
+aggregated accounting.
 """
 
+from repro.pelican.accounting import ClusterReport, totals_signature
 from repro.pelican.chaos import (
     CHAOS_POLICIES,
     ChaosFleet,
@@ -18,8 +22,12 @@ from repro.pelican.chaos import (
     FaultyChannel,
     FlakyModelRegistry,
     chaos_policy,
+    perturb_schedule,
+    sample_shard_outages,
 )
+from repro.pelican.clock import replay_schedule
 from repro.pelican.cloud import CloudTrainer, ResourceReport
+from repro.pelican.cluster import Cluster, split_schedule
 from repro.pelican.defenses import (
     GaussianNoiseDefense,
     OutputDefense,
@@ -53,6 +61,14 @@ from repro.pelican.fleet import (
     QueryRequest,
     QueryResponse,
 )
+from repro.pelican.placement import (
+    PLACEMENT_POLICIES,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    StickyPlacement,
+    make_placement,
+)
 from repro.pelican.privacy import (
     DEFAULT_PRIVACY_TEMPERATURE,
     PrivacyReport,
@@ -75,6 +91,8 @@ __all__ = [
     "ChaosPolicy",
     "ChaosStats",
     "CloudTrainer",
+    "Cluster",
+    "ClusterReport",
     "FaultyChannel",
     "FlakyModelRegistry",
     "DEFAULT_PRIVACY_TEMPERATURE",
@@ -86,6 +104,11 @@ __all__ = [
     "FleetReport",
     "FleetSchedule",
     "GaussianNoiseDefense",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "StickyPlacement",
     "LOW_END_PHONE",
     "ModelRegistry",
     "OutputDefense",
@@ -113,9 +136,15 @@ __all__ = [
     "deploy_local",
     "leakage_reduction",
     "leakage_reduction_series",
+    "make_placement",
+    "perturb_schedule",
     "rebuild_general_model",
     "rebuild_personal_model",
     "remove_privacy",
+    "replay_schedule",
+    "sample_shard_outages",
     "serialize_personal_model",
+    "split_schedule",
+    "totals_signature",
     "update_personal_model",
 ]

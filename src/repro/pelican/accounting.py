@@ -1,0 +1,228 @@
+"""Per-side cost accounting, shard-agnostic (DESIGN.md §7/§9).
+
+:class:`FleetReport` is the cumulative book of one cloud (one shard):
+MACs per side, simulated seconds through each side's hardware profile,
+network totals, and registry cache behaviour.  :class:`ClusterReport`
+aggregates N of them — per-shard breakdown plus cluster totals — while
+keeping the same deterministic :meth:`~ClusterReport.signature`
+guarantee: identical runs produce identical signatures, only measured
+wall-clock is excluded.
+
+The cluster totals are computed *from aggregate MACs*, not by summing
+per-shard seconds, so a 1-shard cluster's totals are bit-identical to the
+legacy single-:class:`~repro.pelican.fleet.Fleet` report on the same run
+(float addition order matters; the parity tests compare exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.pelican.cloud import ResourceReport
+from repro.pelican.device import DeviceProfile
+from repro.pelican.registry import RegistryStats
+
+
+@dataclass
+class FleetReport:
+    """Cumulative per-side cost of everything one fleet/shard has done.
+
+    ``cloud_compute`` / ``device_compute`` sum MACs on each side;
+    ``*_simulated_seconds`` convert them through the side's hardware
+    profile (plus registry cold-load fetch time on the cloud side and the
+    per-user personalization estimates on the device side).
+    ``wall_seconds`` inside the embedded reports is measured, so
+    :meth:`signature` — the projection the determinism guarantee covers —
+    excludes it.
+    """
+
+    cloud_profile: DeviceProfile
+    device_profile: DeviceProfile
+    cloud_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    device_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    device_simulated_seconds: float = 0.0
+    network_seconds: float = 0.0
+    network_bytes_up: int = 0
+    network_bytes_down: int = 0
+    onboards: int = 0
+    updates: int = 0
+    queries: int = 0
+    batches: int = 0
+    registry: RegistryStats = field(default_factory=RegistryStats)
+
+    @property
+    def cloud_simulated_seconds(self) -> float:
+        """Cloud compute time plus checkpoint-store fetch time."""
+        return (
+            self.cloud_profile.simulated_seconds(self.cloud_compute.macs)
+            + self.registry.simulated_load_seconds
+        )
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+    def signature(self) -> Dict[str, Any]:
+        """The deterministic projection: identical for identical runs.
+
+        Same seed + same schedule ⇒ identical signature (and identical
+        responses); only wall-clock measurements are excluded.
+        """
+        return {
+            "cloud_macs": self.cloud_compute.macs,
+            "device_macs": self.device_compute.macs,
+            "cloud_simulated_seconds": self.cloud_simulated_seconds,
+            "device_simulated_seconds": self.device_simulated_seconds,
+            "network_seconds": self.network_seconds,
+            "network_bytes_up": self.network_bytes_up,
+            "network_bytes_down": self.network_bytes_down,
+            "onboards": self.onboards,
+            "updates": self.updates,
+            "queries": self.queries,
+            "batches": self.batches,
+            "registry_hits": self.registry.hits,
+            "registry_cold_loads": self.registry.cold_loads,
+            "registry_evictions": self.registry.evictions,
+            "registry_load_seconds": self.registry.simulated_load_seconds,
+            "eviction_log": tuple(self.registry.eviction_log),
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Aggregating live view over N per-shard :class:`FleetReport` books.
+
+    Shard reports stay owned (and mutated) by their shards; this report
+    reads them on demand, so it is always in sync.  ``training`` holds
+    the cluster-level general-model training cost, which is paid once —
+    not per shard — exactly like the single-fleet ``train_cloud``.
+
+    Cluster totals expose the same field names as :class:`FleetReport`
+    (``cloud_compute``, ``network_seconds``, ``registry``, ...) so
+    renderers and comparisons work on either; :meth:`signature` returns
+    the same total keys plus a ``shards`` tuple with every shard's own
+    signature.
+    """
+
+    cloud_profile: DeviceProfile
+    device_profile: DeviceProfile
+    shard_reports: List[FleetReport] = field(default_factory=list)
+    training: ResourceReport = field(default_factory=ResourceReport.zero)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_reports)
+
+    def shard(self, shard_id: int) -> FleetReport:
+        return self.shard_reports[shard_id]
+
+    # -- aggregate views (FleetReport-compatible names) -----------------
+    @property
+    def cloud_compute(self) -> ResourceReport:
+        total = self.training
+        for report in self.shard_reports:
+            total = total + report.cloud_compute
+        return total
+
+    @property
+    def device_compute(self) -> ResourceReport:
+        total = ResourceReport.zero()
+        for report in self.shard_reports:
+            total = total + report.device_compute
+        return total
+
+    @property
+    def registry(self) -> RegistryStats:
+        """Summed registry stats; eviction logs concatenate in shard order."""
+        total = RegistryStats()
+        for report in self.shard_reports:
+            total.hits += report.registry.hits
+            total.cold_loads += report.registry.cold_loads
+            total.evictions += report.registry.evictions
+            total.simulated_load_seconds += report.registry.simulated_load_seconds
+            total.eviction_log.extend(report.registry.eviction_log)
+        return total
+
+    @property
+    def cloud_simulated_seconds(self) -> float:
+        # From aggregate MACs (not summed shard seconds): bit-identical to
+        # the single-fleet conversion when there is one shard.
+        return (
+            self.cloud_profile.simulated_seconds(self.cloud_compute.macs)
+            + self.registry.simulated_load_seconds
+        )
+
+    @property
+    def device_simulated_seconds(self) -> float:
+        return sum(r.device_simulated_seconds for r in self.shard_reports)
+
+    @property
+    def network_seconds(self) -> float:
+        return sum(r.network_seconds for r in self.shard_reports)
+
+    @property
+    def network_bytes_up(self) -> int:
+        return sum(r.network_bytes_up for r in self.shard_reports)
+
+    @property
+    def network_bytes_down(self) -> int:
+        return sum(r.network_bytes_down for r in self.shard_reports)
+
+    @property
+    def onboards(self) -> int:
+        return sum(r.onboards for r in self.shard_reports)
+
+    @property
+    def updates(self) -> int:
+        return sum(r.updates for r in self.shard_reports)
+
+    @property
+    def queries(self) -> int:
+        return sum(r.queries for r in self.shard_reports)
+
+    @property
+    def batches(self) -> int:
+        return sum(r.batches for r in self.shard_reports)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+    def signature(self) -> Dict[str, Any]:
+        """Cluster totals (FleetReport keys) + per-shard breakdown.
+
+        Deterministic like the per-shard signatures it aggregates; drop
+        the ``"shards"`` key to compare totals field-by-field against a
+        legacy single-fleet signature.
+        """
+        registry = self.registry
+        return {
+            "cloud_macs": self.cloud_compute.macs,
+            "device_macs": self.device_compute.macs,
+            "cloud_simulated_seconds": self.cloud_simulated_seconds,
+            "device_simulated_seconds": self.device_simulated_seconds,
+            "network_seconds": self.network_seconds,
+            "network_bytes_up": self.network_bytes_up,
+            "network_bytes_down": self.network_bytes_down,
+            "onboards": self.onboards,
+            "updates": self.updates,
+            "queries": self.queries,
+            "batches": self.batches,
+            "registry_hits": registry.hits,
+            "registry_cold_loads": registry.cold_loads,
+            "registry_evictions": registry.evictions,
+            "registry_load_seconds": registry.simulated_load_seconds,
+            "eviction_log": tuple(registry.eviction_log),
+            "shards": tuple(r.signature() for r in self.shard_reports),
+        }
+
+
+def totals_signature(signature: Dict[str, Any]) -> Dict[str, Any]:
+    """A signature with any per-shard breakdown stripped.
+
+    Makes a :class:`ClusterReport` signature directly comparable
+    (field-by-field) with a legacy :class:`FleetReport` one — the K=1
+    parity tests compare exactly through this projection.
+    """
+    return {key: value for key, value in signature.items() if key != "shards"}

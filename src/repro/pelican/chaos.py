@@ -33,7 +33,7 @@ makes accuracy comparable across chaos policies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,6 +55,8 @@ _STREAM_TRANSFER = 1
 _STREAM_COLD_LOAD = 2
 _STREAM_OFFLINE = 3
 _STREAM_STRAGGLER = 4
+_STREAM_SHARD_OUTAGE = 5
+_STREAM_SHARD_SEED = 6
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,13 @@ class ChaosPolicy:
     #: ``max_cold_load_attempts`` total attempts.
     cold_load_failure_probability: float = 0.0
     max_cold_load_attempts: int = 3
+    #: Expected outage windows per cloud *shard* over the schedule horizon
+    #: (cluster-level, DESIGN.md §9): queries homed on a downed shard
+    #: re-route to a failover shard after a durable-store cold load, while
+    #: onboard/update events defer to the window's end.  Ignored by the
+    #: single-cloud :class:`ChaosFleet`, which has nowhere to fail over.
+    shard_outage_rate: float = 0.0
+    shard_outage_duration: float = 25.0
 
     @property
     def is_null(self) -> bool:
@@ -91,6 +100,7 @@ class ChaosPolicy:
             and self.offline_window_rate <= 0.0
             and self.straggler_probability <= 0.0
             and self.cold_load_failure_probability <= 0.0
+            and self.shard_outage_rate <= 0.0
         )
 
     def rng(self, stream: int, *keys: int) -> np.random.Generator:
@@ -121,6 +131,11 @@ CHAOS_POLICIES: Dict[str, ChaosPolicy] = {
             straggler_delay=20.0,
         ),
         ChaosPolicy(
+            name="shard_outage",
+            shard_outage_rate=1.5,
+            shard_outage_duration=25.0,
+        ),
+        ChaosPolicy(
             name="hostile",
             drop_probability=0.25,
             max_retries=4,
@@ -130,6 +145,8 @@ CHAOS_POLICIES: Dict[str, ChaosPolicy] = {
             straggler_delay=20.0,
             cold_load_failure_probability=0.35,
             max_cold_load_attempts=3,
+            shard_outage_rate=1.0,
+            shard_outage_duration=20.0,
         ),
     )
 }
@@ -158,6 +175,8 @@ class ChaosStats:
     offline_windows: int = 0
     deferred_events: int = 0
     straggler_updates: int = 0
+    shard_outage_windows: int = 0
+    failover_queries: int = 0
 
     def signature(self) -> Dict[str, Any]:
         """Deterministic projection, merged into the fleet signature."""
@@ -170,7 +189,21 @@ class ChaosStats:
             "offline_windows": self.offline_windows,
             "deferred_events": self.deferred_events,
             "straggler_updates": self.straggler_updates,
+            "shard_outage_windows": self.shard_outage_windows,
+            "failover_queries": self.failover_queries,
         }
+
+    def merged(self, *others: "ChaosStats") -> Dict[str, Any]:
+        """Field-wise sum of this and ``others``' signatures.
+
+        The cluster layer aggregates its own counters with every shard's
+        through this — all ints/floats, so plain addition.
+        """
+        total = dict(self.signature())
+        for other in others:
+            for key, value in other.signature().items():
+                total[key] += value
+        return total
 
 
 @dataclass
@@ -272,8 +305,11 @@ class FlakyModelRegistry(ModelRegistry):
         policy: ChaosPolicy,
         chaos: ChaosStats,
         storage_mbps: float = 400.0,
+        store: Optional[Dict[int, bytes]] = None,
     ) -> None:
-        super().__init__(capacity=capacity, seed=seed, storage_mbps=storage_mbps)
+        super().__init__(
+            capacity=capacity, seed=seed, storage_mbps=storage_mbps, store=store
+        )
         self.policy = policy
         self.chaos = chaos
         self._fetches = 0
@@ -323,6 +359,7 @@ class ChaosFleet(Fleet):
         registry_capacity: Optional[int] = 64,
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
+        registry_store: Optional[Dict[int, bytes]] = None,
     ) -> None:
         self.policy = policy
         self.chaos = ChaosStats()
@@ -336,11 +373,16 @@ class ChaosFleet(Fleet):
             registry_capacity=registry_capacity,
             cloud_profile=cloud_profile,
             device_profile=device_profile,
+            registry_store=registry_store,
         )
 
     def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:
         return FlakyModelRegistry(
-            capacity=capacity, seed=seed, policy=self.policy, chaos=self.chaos
+            capacity=capacity,
+            seed=seed,
+            policy=self.policy,
+            chaos=self.chaos,
+            store=self._registry_store,
         )
 
     # ------------------------------------------------------------------
@@ -357,74 +399,145 @@ class ChaosFleet(Fleet):
     def perturb(self, schedule: FleetSchedule) -> FleetSchedule:
         """Apply offline windows and straggler delays to a schedule.
 
-        Produces a new schedule with the original sequence numbers, so
-        same-tick ties still resolve identically.  Each device's events
-        stay serially ordered (an offline device's queue drains in order
-        when it reconnects); deferred events landing on one tick coalesce
-        into the same serving batch, exactly like a reconnect burst.
+        Delegates to the shard-agnostic :func:`perturb_schedule`; the
+        cluster layer perturbs through the same function (plus its
+        shard-outage deferrals), so per-user fault draws are identical
+        for the same policy, seed, and schedule on either topology.
         """
-        events = schedule.ordered()
-        if not events or self.policy.is_null:
-            return schedule
-        horizon = (events[0].time, events[-1].time)
-        windows = self._offline_windows(events, horizon)
-        perturbed = FleetSchedule()
-        # Per-user last effective (time, seq): a device's event queue is
-        # serial, so nothing may overtake an earlier deferred event.
-        last: Dict[int, Tuple[float, int]] = {}
-        for event in events:
-            time = event.time
-            if (
-                event.kind is EventKind.UPDATE
-                and self.policy.straggler_probability > 0.0
-                and self.policy.rng(_STREAM_STRAGGLER, event.seq).random()
-                < self.policy.straggler_probability
-            ):
-                time += self.policy.straggler_delay
-                self.chaos.straggler_updates += 1
-            for start, end in windows.get(event.user_id, ()):
-                if start <= time < end:
-                    time = end
-            previous = last.get(event.user_id)
-            if previous is not None:
-                prev_time, prev_seq = previous
-                if time < prev_time:
-                    time = prev_time
-                if time == prev_time and event.seq < prev_seq:
-                    # Replay order is (time, seq); an equal-time event with
-                    # a smaller seq would overtake — nudge it just after.
-                    time = float(np.nextafter(prev_time, np.inf))
-            last[event.user_id] = (time, event.seq)
-            if time != event.time:
-                self.chaos.deferred_events += 1
-            perturbed.add(
-                FleetEvent(
-                    time=time,
-                    seq=event.seq,
-                    kind=event.kind,
-                    user_id=event.user_id,
-                    payload=event.payload,
-                    options=event.options,
-                )
-            )
-        return perturbed
+        return perturb_schedule(schedule, self.policy, self.chaos)
 
-    def _offline_windows(
-        self, events: List[FleetEvent], horizon: Tuple[float, float]
-    ) -> Dict[int, List[Tuple[float, float]]]:
-        """Sample each device's offline windows over the schedule horizon."""
-        if self.policy.offline_window_rate <= 0.0:
-            return {}
-        windows: Dict[int, List[Tuple[float, float]]] = {}
-        for user_id in sorted({event.user_id for event in events}):
-            rng = self.policy.rng(_STREAM_OFFLINE, user_id)
-            n = int(rng.poisson(self.policy.offline_window_rate))
-            if not n:
-                continue
-            starts = np.sort(rng.uniform(horizon[0], horizon[1], size=n))
-            windows[user_id] = [
-                (float(s), float(s) + self.policy.offline_window_duration)
-                for s in starts
-            ]
-            self.chaos.offline_windows += n
-        return windows
+
+def perturb_schedule(
+    schedule: FleetSchedule,
+    policy: ChaosPolicy,
+    chaos: ChaosStats,
+    outage_defer: Optional[Callable[[FleetEvent, float], float]] = None,
+) -> FleetSchedule:
+    """Apply offline windows and straggler delays to a schedule.
+
+    Produces a new schedule with the original sequence numbers, so
+    same-tick ties still resolve identically.  Each device's events
+    stay serially ordered (an offline device's queue drains in order
+    when it reconnects); deferred events landing on one tick coalesce
+    into the same serving batch, exactly like a reconnect burst.
+
+    ``outage_defer`` is the cluster hook: called after the per-user
+    faults with ``(event, effective_time)``, it may push the event later
+    still (shard-outage deferral of onboards/updates, DESIGN.md §9).
+    The per-user monotone pass below then drags that user's subsequent
+    events along, so serial order survives every composition of faults.
+    """
+    events = schedule.ordered()
+    if not events or (policy.is_null and outage_defer is None):
+        return schedule
+    horizon = (events[0].time, events[-1].time)
+    windows = sample_offline_windows(events, horizon, policy, chaos)
+    perturbed = FleetSchedule()
+    # Per-user last effective (time, seq): a device's event queue is
+    # serial, so nothing may overtake an earlier deferred event.
+    last: Dict[int, Tuple[float, int]] = {}
+    for event in events:
+        time = event.time
+        if (
+            event.kind is EventKind.UPDATE
+            and policy.straggler_probability > 0.0
+            and policy.rng(_STREAM_STRAGGLER, event.seq).random()
+            < policy.straggler_probability
+        ):
+            time += policy.straggler_delay
+            chaos.straggler_updates += 1
+        for start, end in windows.get(event.user_id, ()):
+            if start <= time < end:
+                time = end
+        if outage_defer is not None:
+            time = outage_defer(event, time)
+        previous = last.get(event.user_id)
+        if previous is not None:
+            prev_time, prev_seq = previous
+            if time < prev_time:
+                time = prev_time
+            if time == prev_time and event.seq < prev_seq:
+                # Replay order is (time, seq); an equal-time event with
+                # a smaller seq would overtake — nudge it just after.
+                time = float(np.nextafter(prev_time, np.inf))
+        last[event.user_id] = (time, event.seq)
+        if time != event.time:
+            chaos.deferred_events += 1
+        perturbed.add(
+            FleetEvent(
+                time=time,
+                seq=event.seq,
+                kind=event.kind,
+                user_id=event.user_id,
+                payload=event.payload,
+                options=event.options,
+            )
+        )
+    return perturbed
+
+
+def sample_offline_windows(
+    events: List[FleetEvent],
+    horizon: Tuple[float, float],
+    policy: ChaosPolicy,
+    chaos: ChaosStats,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Sample each device's offline windows over the schedule horizon."""
+    if policy.offline_window_rate <= 0.0:
+        return {}
+    windows: Dict[int, List[Tuple[float, float]]] = {}
+    for user_id in sorted({event.user_id for event in events}):
+        rng = policy.rng(_STREAM_OFFLINE, user_id)
+        n = int(rng.poisson(policy.offline_window_rate))
+        if not n:
+            continue
+        starts = np.sort(rng.uniform(horizon[0], horizon[1], size=n))
+        windows[user_id] = [
+            (float(s), float(s) + policy.offline_window_duration) for s in starts
+        ]
+        chaos.offline_windows += n
+    return windows
+
+
+def sample_shard_outages(
+    policy: ChaosPolicy,
+    num_shards: int,
+    horizon: Tuple[float, float],
+    chaos: ChaosStats,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Sample each cloud shard's outage windows over the schedule horizon.
+
+    Keyed by ``(policy seed, outage stream, shard id)`` — independent of
+    every other fault stream and of the user population, so adding chaos
+    knobs never re-rolls the outages (DESIGN.md §9).
+    """
+    if policy.shard_outage_rate <= 0.0:
+        return {}
+    outages: Dict[int, List[Tuple[float, float]]] = {}
+    for shard_id in range(num_shards):
+        rng = policy.rng(_STREAM_SHARD_OUTAGE, shard_id)
+        n = int(rng.poisson(policy.shard_outage_rate))
+        if not n:
+            continue
+        starts = np.sort(rng.uniform(horizon[0], horizon[1], size=n))
+        outages[shard_id] = [
+            (float(s), float(s) + policy.shard_outage_duration) for s in starts
+        ]
+        chaos.shard_outage_windows += n
+    return outages
+
+
+def shard_policy(policy: ChaosPolicy, shard_id: int) -> ChaosPolicy:
+    """The per-shard reseeding of a cluster chaos policy.
+
+    Each shard's channel/registry faults draw from a seed stably derived
+    from ``(policy seed, shard-seed stream, shard id)``, so shards fail
+    independently instead of in lock-step, while the whole cluster stays
+    reproducible from the one policy seed.
+    """
+    derived = int(
+        np.random.default_rng((policy.seed, _STREAM_SHARD_SEED, shard_id)).integers(
+            0, 2**31 - 1
+        )
+    )
+    return replace(policy, seed=derived)

@@ -1,0 +1,522 @@
+"""Sharded cluster serving: N single-cloud fleets behind one front door
+(DESIGN.md §9).
+
+A production deployment cannot serve millions of personal models from one
+cloud; it spreads them over shards.  :class:`Cluster` composes N
+:class:`~repro.pelican.fleet.Fleet` shards — each with its own
+:class:`~repro.pelican.system.Pelican`, channel, live-model registry, and
+capacity — behind a deterministic placement layer
+(:mod:`repro.pelican.placement`) and the shared event clock
+(:mod:`repro.pelican.clock`).  The legacy single-cloud ``Fleet`` is
+exactly the 1-shard special case: a 1-shard cluster run returns
+bit-identical responses and a bit-identical totals signature.
+
+Guarantees, in the same spirit as §7/§8:
+
+* **Response parity.**  Placement routes whole users, the dispatcher
+  groups per model, and cold loads rebuild bit-identically — so a
+  K-shard run under the null chaos policy answers every query exactly
+  like the single-``Fleet`` run on the same schedule and seed.  Only the
+  books differ in shape (per-shard), never the totals' meaning.
+* **Deterministic placement.**  Every policy derives from
+  ``default_rng((seed, stream, key))``-style stable hashes: the same
+  ``(seed, user set, shard count)`` always yields the identical
+  placement map.
+* **Failover under chaos.**  With a :class:`~repro.pelican.chaos.ChaosPolicy`
+  carrying shard-outage windows, queries homed on a downed shard re-route
+  to the next alive shard, which cold-loads the user's checkpoint from the
+  cluster-wide durable store (per-shard live caches over one blob store) —
+  all cost-accounted on the shard that did the work.  Onboards and updates
+  defer to the outage's end; per-user serial order is preserved.  The
+  whole faulty run stays bit-deterministic and signature-comparable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.data.dataset import SequenceDataset
+from repro.data.features import FeatureSpec
+from repro.models.personalize import PersonalizationMethod
+from repro.pelican.accounting import ClusterReport
+from repro.pelican.chaos import (
+    ChaosFleet,
+    ChaosPolicy,
+    ChaosStats,
+    perturb_schedule,
+    sample_shard_outages,
+    shard_policy,
+)
+from repro.pelican.clock import (
+    EventKind,
+    FleetEvent,
+    FleetSchedule,
+    QueryRequest,
+    QueryResponse,
+    replay_schedule,
+)
+from repro.pelican.deployment import DeploymentMode
+from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
+from repro.pelican.dispatch import dispatch_model_batch, group_requests
+from repro.pelican.fleet import Fleet
+from repro.pelican.placement import HashPlacement, PlacementPolicy, make_placement
+from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
+
+
+def split_schedule(
+    schedule: FleetSchedule, placement: PlacementPolicy
+) -> Dict[int, FleetSchedule]:
+    """Route a schedule across shards, preserving per-user serial order.
+
+    Every event keeps its original ``(time, seq)``, and all of one user's
+    events land on one shard (placement is per-user), so each per-shard
+    schedule replays its users' events in exactly the order the global
+    schedule would have.  Shards with no events are absent from the map.
+    """
+    shards: Dict[int, FleetSchedule] = {}
+    for event in schedule.ordered():
+        shard_id = placement.shard_for(event.user_id)
+        shards.setdefault(shard_id, FleetSchedule()).add(event)
+    return shards
+
+
+class Cluster:
+    """A sharded Pelican cloud: N fleets, one placement layer, one clock.
+
+    Parameters
+    ----------
+    spec / config:
+        The feature spec and system config every shard's
+        :class:`~repro.pelican.system.Pelican` is built from.  All shards
+        share ``config.seed``, so a user personalizes bit-identically
+        regardless of which shard owns them — the root of the K-vs-1
+        response parity guarantee.
+    num_shards:
+        Cloud shard count; ``1`` reproduces the legacy single-``Fleet``
+        behaviour exactly.
+    placement:
+        A policy name (``hash`` / ``least_loaded`` / ``sticky``) or a
+        ready :class:`~repro.pelican.placement.PlacementPolicy` instance.
+    registry_capacity:
+        *Per-shard* live-model budget (``None`` = unbounded).  The durable
+        blob store is cluster-wide and unbounded, like real object
+        storage.
+    policy:
+        Optional :class:`~repro.pelican.chaos.ChaosPolicy`.  Per-shard
+        faults (lossy transfers, flaky cold loads) run with a seed stably
+        derived per shard; shard-outage windows and per-user deferrals are
+        applied at cluster level.  ``None`` and the null policy are
+        byte-for-byte identical.
+    """
+
+    def __init__(
+        self,
+        spec: FeatureSpec,
+        config: Optional[PelicanConfig] = None,
+        num_shards: int = 1,
+        placement: Union[str, PlacementPolicy] = "hash",
+        registry_capacity: Optional[int] = 64,
+        cloud_profile: DeviceProfile = CLOUD_SERVER,
+        device_profile: DeviceProfile = LOW_END_PHONE,
+        policy: Optional[ChaosPolicy] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        config = config or PelicanConfig()
+        self.spec = spec
+        self.config = config
+        self.num_shards = num_shards
+        if isinstance(placement, PlacementPolicy):
+            if placement.num_shards != num_shards:
+                raise ValueError(
+                    f"placement policy covers {placement.num_shards} shards, "
+                    f"cluster has {num_shards}"
+                )
+            self.placement = placement
+        else:
+            self.placement = make_placement(placement, config.seed, num_shards)
+        self.policy = policy
+        self.chaos = ChaosStats()
+        #: Cluster-wide durable checkpoint store, shared by every shard's
+        #: registry — what makes cross-shard failover cold loads possible.
+        self.store: Dict[int, bytes] = {}
+        self.shards: List[Fleet] = []
+        for shard_id in range(num_shards):
+            pelican = Pelican(spec, config)
+            if policy is None:
+                shard: Fleet = Fleet(
+                    pelican,
+                    registry_capacity=registry_capacity,
+                    cloud_profile=cloud_profile,
+                    device_profile=device_profile,
+                    registry_store=self.store,
+                )
+            else:
+                shard = ChaosFleet(
+                    pelican,
+                    shard_policy(policy, shard_id),
+                    registry_capacity=registry_capacity,
+                    cloud_profile=cloud_profile,
+                    device_profile=device_profile,
+                    registry_store=self.store,
+                )
+            self.shards.append(shard)
+        self.report = ClusterReport(
+            cloud_profile=cloud_profile,
+            device_profile=device_profile,
+            shard_reports=[shard.report for shard in self.shards],
+        )
+        #: Current run's shard-outage windows (empty outside chaos runs).
+        self._outages: Dict[int, List[Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trained(cls, pelican: Pelican, **kwargs: Any) -> "Cluster":
+        """Build a cluster from an already-trained orchestrator.
+
+        Publishes ``pelican``'s general model to every shard and adopts
+        any users it already onboarded (placing each and rewiring cloud
+        endpoints to their shard's channel).  Training cost is *not*
+        adopted — mirror of wrapping a pre-trained Pelican in a bare
+        ``Fleet``; use :meth:`train_cloud` (or add to
+        ``report.training``) when the cost should appear in the books.
+        Takes ownership of ``pelican`` exactly like ``Fleet(pelican)``.
+        """
+        if pelican._general_blob is None:
+            raise RuntimeError("run initial_training before sharding a Pelican")
+        cluster = cls(pelican.spec, pelican.config, **kwargs)
+        for shard in cluster.shards:
+            shard.pelican._general_blob = pelican._general_blob
+            shard.pelican.cloud = pelican.cloud
+        for user_id, user in pelican.users.items():
+            shard = cluster.shards[cluster.placement.shard_for(user_id)]
+            if user.endpoint.channel is not None:
+                user.endpoint.channel = shard.pelican.channel
+            shard.pelican.users[user_id] = user
+            if user.endpoint.mode == DeploymentMode.CLOUD:
+                shard.registry.register(user_id, user.endpoint.predictor.model)
+        return cluster
+
+    def train_cloud(self, contributor_dataset: SequenceDataset):
+        """Phase-1 general-model training — once, cluster-wide.
+
+        The general model is trained on one trainer and its published
+        blob is shared by every shard (a real cluster trains centrally
+        and replicates the artifact); the cost lands in the cluster-level
+        ``report.training`` book, not on any shard.
+        """
+        lead = self.shards[0].pelican
+        report = lead.initial_training(contributor_dataset)
+        for shard in self.shards[1:]:
+            shard.pelican._general_blob = lead._general_blob
+            shard.pelican.cloud = lead.cloud
+        self.report.training = self.report.training + report
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return sum(shard.num_users for shard in self.shards)
+
+    @property
+    def users(self) -> Dict[int, OnboardedUser]:
+        """All onboarded users across shards (read-only merged view)."""
+        merged: Dict[int, OnboardedUser] = {}
+        for shard in self.shards:
+            merged.update(shard.pelican.users)
+        return merged
+
+    def shard_of(self, user_id: int) -> int:
+        """The shard owning ``user_id`` under this cluster's placement."""
+        return self.placement.shard_for(user_id)
+
+    def placement_map(self) -> Dict[int, int]:
+        """``user -> shard`` for every currently onboarded user."""
+        return {
+            uid: shard_id
+            for shard_id, shard in enumerate(self.shards)
+            for uid in shard.pelican.users
+        }
+
+    def merged_chaos(self) -> Dict[str, Any]:
+        """Cluster-level chaos counters plus every shard's, summed."""
+        return self.chaos.merged(
+            *[shard.chaos for shard in self.shards if isinstance(shard, ChaosFleet)]
+        )
+
+    def signature(self) -> Dict[str, Any]:
+        """Aggregated report signature plus the merged chaos counters."""
+        return {
+            **self.report.signature(),
+            **{f"chaos_{key}": value for key, value in self.merged_chaos().items()},
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle events (routed by placement)
+    # ------------------------------------------------------------------
+    def onboard(
+        self,
+        user_id: int,
+        dataset: SequenceDataset,
+        privacy_temperature: Optional[float] = None,
+        method: Optional[PersonalizationMethod] = None,
+        deployment: Optional[DeploymentMode] = None,
+        profile: Optional[DeviceProfile] = None,
+    ) -> OnboardedUser:
+        """Onboard one device on its placed shard."""
+        home_id = self.placement.shard_for(user_id)
+        user = self.shards[home_id].onboard(
+            user_id,
+            dataset,
+            privacy_temperature=privacy_temperature,
+            method=method,
+            deployment=deployment,
+            profile=profile,
+        )
+        self._invalidate_elsewhere(user_id, home_id)
+        return user
+
+    def update(self, user_id: int, dataset: SequenceDataset) -> OnboardedUser:
+        """Phase-4 incremental update on the user's home shard."""
+        home_id = self.placement.shard_for(user_id)
+        refreshed = self.shards[home_id].update(user_id, dataset)
+        self._invalidate_elsewhere(user_id, home_id)
+        return refreshed
+
+    def _invalidate_elsewhere(self, user_id: int, home_id: int) -> None:
+        """Drop foreign live copies after a (re)deploy to the shared store.
+
+        A past failover may have cached the user's model on another
+        shard's live registry; re-registering on the home shard replaces
+        the durable blob but not those copies, so they must be evicted or
+        a later failover would serve a stale model.  The eviction is
+        booked like any other (counter + log), keeping the invalidation
+        visible and deterministic.
+        """
+        for shard_id, shard in enumerate(self.shards):
+            if shard_id != home_id:
+                shard.registry.evict(user_id)
+
+    # ------------------------------------------------------------------
+    # Query serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """Serve concurrent requests, split per home shard, batched per model.
+
+        Responses come back in request order and are bit-identical to
+        serving the same requests on one fleet — routing moves whole
+        users, and each shard batches its sub-list with the shared
+        dispatcher, so every per-model group is the same either way.
+        """
+        return self._scatter(requests, lambda shard, sub: shard.serve(sub))
+
+    def serve_looped(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """Reference path: per-shard accounting-neutral one-by-one serving."""
+        return self._scatter(requests, lambda shard, sub: shard.serve_looped(sub))
+
+    def _scatter(self, requests, serve_one_shard) -> List[QueryResponse]:
+        """Split requests by home shard, serve, and merge in request order.
+
+        Responses are renumbered to global request order, so a cluster
+        ``serve`` is indistinguishable — response objects included — from
+        the same requests served by one fleet.
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        for shard_id, indices in self._by_shard(requests).items():
+            served = serve_one_shard(
+                self.shards[shard_id], [requests[i] for i in indices]
+            )
+            for i, response in zip(indices, served):
+                responses[i] = QueryResponse(
+                    user_id=response.user_id,
+                    time=response.time,
+                    seq=i,
+                    top_k=response.top_k,
+                )
+        return [r for r in responses if r is not None]
+
+    def _by_shard(
+        self, requests: Sequence[QueryRequest]
+    ) -> "OrderedDict[int, List[int]]":
+        """Request indices per home shard, in first-arrival shard order."""
+        by_shard: "OrderedDict[int, List[int]]" = OrderedDict()
+        for idx, request in enumerate(requests):
+            by_shard.setdefault(self.placement.shard_for(request.user_id), []).append(
+                idx
+            )
+        return by_shard
+
+    # ------------------------------------------------------------------
+    # Event clock
+    # ------------------------------------------------------------------
+    def run(self, schedule: FleetSchedule) -> List[QueryResponse]:
+        """Replay a schedule across the shards on the shared event clock.
+
+        The clock runs at cluster level (the single
+        :func:`~repro.pelican.clock.replay_schedule` definition), so
+        same-tick coalescing, flush-on-lifecycle-event, and response
+        ordering are identical to a single-fleet run — which is what the
+        K-vs-1 bit-parity tests compare.  Under a chaos policy the
+        schedule is first perturbed (offline windows, stragglers, and
+        shard-outage deferrals for onboards/updates); queries homed on a
+        downed shard are *not* deferred — they fail over.
+        """
+        prepared = self._prepare(schedule)
+        return replay_schedule(
+            prepared,
+            serve=self._serve_tick,
+            onboard=lambda e: self.onboard(e.user_id, e.payload, **dict(e.options)),
+            update=lambda e: self.update(e.user_id, e.payload),
+        )
+
+    def _prepare(self, schedule: FleetSchedule) -> FleetSchedule:
+        """Sample outages and apply the chaos perturbation, if any."""
+        self._outages = {}
+        if self.policy is None or self.policy.is_null:
+            return schedule
+        events = schedule.ordered()
+        if not events:
+            return schedule
+        horizon = (events[0].time, events[-1].time)
+        self._outages = sample_shard_outages(
+            self.policy, self.num_shards, horizon, self.chaos
+        )
+        return perturb_schedule(
+            schedule, self.policy, self.chaos, outage_defer=self._outage_defer
+        )
+
+    def _outage_defer(self, event: FleetEvent, time: float) -> float:
+        """Defer lifecycle events on a downed home shard to the outage end.
+
+        Queries pass through untouched — the serving path fails them over
+        instead, because a read can be answered elsewhere but an
+        onboard/update must reach the user's home shard.
+        """
+        if event.kind is EventKind.QUERY:
+            return time
+        for start, end in self._outages.get(
+            self.placement.shard_for(event.user_id), ()
+        ):
+            if start <= time < end:
+                time = end
+        return time
+
+    def _down(self, shard_id: int, time: float) -> bool:
+        return any(start <= time < end for start, end in self._outages.get(shard_id, ()))
+
+    def _serve_tick(
+        self, time: float, requests: List[QueryRequest]
+    ) -> List[QueryResponse]:
+        """One coalesced clock-tick batch, routed with outage awareness."""
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        for shard_id, indices in self._by_shard(requests).items():
+            sub = [requests[i] for i in indices]
+            if self._down(shard_id, time):
+                served = self._serve_despite_outage(time, shard_id, sub)
+            else:
+                served = self.shards[shard_id].serve(sub)
+            for i, response in zip(indices, served):
+                responses[i] = response
+        return [r for r in responses if r is not None]
+
+    def _serve_despite_outage(
+        self, time: float, home_id: int, requests: List[QueryRequest]
+    ) -> List[QueryResponse]:
+        """Serve a downed shard's tick batch.
+
+        Locally-deployed users answer on their own devices — a cloud
+        outage never touches them — while cloud-deployed users fail over,
+        each to their first alive failover shard.  Answers are
+        bit-identical to the clean run either way; only the cost
+        attribution moves.
+        """
+        home = self.shards[home_id]
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        local: List[int] = []
+        by_fallback: "OrderedDict[int, List[int]]" = OrderedDict()
+        for i, request in enumerate(requests):
+            if home.pelican.users[request.user_id].endpoint.mode != DeploymentMode.CLOUD:
+                local.append(i)
+            else:
+                target = self._failover_target(request.user_id, home_id, time)
+                by_fallback.setdefault(target, []).append(i)
+        if local:
+            for i, response in zip(local, home.serve([requests[i] for i in local])):
+                responses[i] = response
+        for fallback_id, indices in by_fallback.items():
+            served = self._serve_failover(
+                home, self.shards[fallback_id], [requests[i] for i in indices]
+            )
+            for i, response in zip(indices, served):
+                responses[i] = response
+        return [r for r in responses if r is not None]
+
+    def _failover_target(self, user_id: int, home_id: int, time: float) -> int:
+        """The user's first alive failover shard.
+
+        Hash-based placements walk the user's own ring successor order
+        (:meth:`~repro.pelican.placement.HashPlacement.successors`), so
+        failed-over load spreads the way consistent hashing promises;
+        other policies walk shard ids from the home.  Falls back to the
+        home shard itself if every shard is down (a full-cluster outage
+        has nowhere better to send the query).
+        """
+        if isinstance(self.placement, HashPlacement):
+            candidates = [
+                shard
+                for shard in self.placement.successors(user_id)
+                if shard != home_id
+            ]
+        else:
+            candidates = [
+                (home_id + offset) % self.num_shards
+                for offset in range(1, self.num_shards)
+            ]
+        for candidate in candidates:
+            if not self._down(candidate, time):
+                return candidate
+        return home_id
+
+    def _serve_failover(
+        self, home: Fleet, fallback: Fleet, requests: List[QueryRequest]
+    ) -> List[QueryResponse]:
+        """Batched failover serving on ``fallback``, fully cost-accounted.
+
+        Each per-model group cold-loads (or cache-hits) the user's
+        checkpoint from the cluster-wide durable store through the
+        fallback shard's registry, runs the same fused dispatch as normal
+        serving, and pays its query exchanges on the fallback shard's
+        channel — so failed-over traffic is indistinguishable in *shape*
+        from native traffic, it just lands in a different shard's book.
+        The exchange goes through the endpoint's single accounting
+        boundary (:meth:`~repro.pelican.deployment.ServiceEndpoint.record_query_exchange`,
+        with the fallback channel), so per-endpoint query conservation
+        survives failover.
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        for (user_id, _, k), indices in group_requests(requests).items():
+            model = fallback.registry.get(user_id)
+            histories = [requests[i].history for i in indices]
+            results, report = dispatch_model_batch(
+                model, fallback.pelican.spec, histories, k
+            )
+            fallback.report.cloud_compute += report
+            home.pelican.users[user_id].endpoint.record_query_exchange(
+                len(indices),
+                channel=fallback.pelican.channel,
+                label="failover-query",
+            )
+            fallback.report.batches += 1
+            fallback.report.queries += len(indices)
+            self.chaos.failover_queries += len(indices)
+            for i, top in zip(indices, results):
+                responses[i] = QueryResponse(
+                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
+                )
+        fallback._sync_network()
+        return [r for r in responses if r is not None]

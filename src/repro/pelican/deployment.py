@@ -121,23 +121,29 @@ class ServiceEndpoint:
         self.record_query_exchange(1)
         return self.predictor.top_k(history, k)
 
-    def record_query_exchange(self, count: int) -> float:
+    def record_query_exchange(
+        self, count: int, channel: Optional[Channel] = None, label: str = "query"
+    ) -> float:
         """Account ``count`` concurrent query exchanges on this endpoint.
 
-        Bumps the query counter and — when the endpoint has a channel —
+        Bumps the query counter and — when a channel is available —
         records one coalesced context-upload and result-download per
         direction (each device pays its own round trip).  This is the
-        single accounting boundary for both the per-query path and
-        batched serving, including the fleet's registry-served cloud
-        dispatches.  Returns the simulated network seconds added.
+        single accounting boundary for every serving path: the per-query
+        loop, batched serving (including the fleet's registry-served
+        cloud dispatches), and cluster failover — which passes the
+        failover shard's ``channel`` (the link that actually carried the
+        traffic) and its own ``label``.  Returns the simulated network
+        seconds added.
         """
         self.stats.queries += count
-        if self.channel is None or count == 0:
+        channel = channel if channel is not None else self.channel
+        if channel is None or count == 0:
             return 0.0
-        seconds = self.channel.bulk_upload(
-            QUERY_PAYLOAD_BYTES, count, label="query-context"
-        ) + self.channel.bulk_download(
-            QUERY_PAYLOAD_BYTES, count, label="query-result"
+        seconds = channel.bulk_upload(
+            QUERY_PAYLOAD_BYTES, count, label=f"{label}-context"
+        ) + channel.bulk_download(
+            QUERY_PAYLOAD_BYTES, count, label=f"{label}-result"
         )
         self.stats.simulated_network_seconds += seconds
         return seconds

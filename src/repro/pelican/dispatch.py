@@ -1,0 +1,62 @@
+"""Batch-coalescing query dispatch, shard-agnostic (DESIGN.md §7).
+
+Concurrent query requests are grouped per personal model — by
+``(user, window length, k)`` in arrival order — and each group is
+answered through the graph-free fused inference path in *one* GEMM stack.
+The grouping and the two dispatch kernels live here so the single-cloud
+:class:`~repro.pelican.fleet.Fleet`, the N-shard
+:class:`~repro.pelican.cluster.Cluster`, and the cluster's failover path
+all serve through the identical code — which is what makes their answers
+bit-comparable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Sequence, Tuple
+
+from repro.data.features import FeatureSpec, SessionFeatures
+from repro.models.architecture import NextLocationModel
+from repro.models.predictor import NextLocationPredictor
+from repro.nn.profiler import flop_counter
+from repro.pelican.clock import QueryRequest
+from repro.pelican.cloud import ResourceReport
+
+#: Group key: requests sharing one can run as one fused dispatch.
+GroupKey = Tuple[int, int, int]  # (user_id, window length, k)
+
+
+def group_requests(
+    requests: Sequence[QueryRequest],
+) -> "OrderedDict[GroupKey, List[int]]":
+    """Coalesce concurrent requests into per-model dispatch groups.
+
+    Returns ``{(user_id, len(history), k): [request indices]}`` in first-
+    arrival order — the deterministic grouping both serving layers batch
+    by.  Indices let callers scatter group results back to request order.
+    """
+    groups: "OrderedDict[GroupKey, List[int]]" = OrderedDict()
+    for idx, request in enumerate(requests):
+        key = (request.user_id, len(request.history), request.k)
+        groups.setdefault(key, []).append(idx)
+    return groups
+
+
+def dispatch_model_batch(
+    model: NextLocationModel,
+    spec: FeatureSpec,
+    histories: Sequence[Tuple[SessionFeatures, ...]],
+    k: int,
+) -> Tuple[List[List[Tuple[int, float]]], ResourceReport]:
+    """One fused batched dispatch against one model, MACs measured.
+
+    Every history in the group is encoded into a single batch and
+    answered by one graph-free fused inference stack; the returned
+    :class:`ResourceReport` is the measured compute, for the caller to
+    attribute to whichever side executed it (cloud shard, failover shard,
+    or device).
+    """
+    predictor = NextLocationPredictor(model, spec)
+    with flop_counter() as counter:
+        results = predictor.top_k_batch(histories, k)
+    return results, ResourceReport.from_counter(counter)

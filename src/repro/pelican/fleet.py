@@ -6,10 +6,9 @@ time; this module is the production-shaped layer above it that simulates
 thousands of devices against one cloud:
 
 * **Batched multi-user serving** — concurrent query requests are grouped
-  per personal model (per user, window length, and k) and each group is
-  dispatched through the graph-free fused inference path in *one* GEMM
-  stack (:meth:`~repro.models.predictor.NextLocationPredictor.top_k_batch`)
-  instead of one dispatch per query.  Predictions are identical to the
+  per personal model and each group is dispatched through the graph-free
+  fused inference path in *one* GEMM stack
+  (:mod:`repro.pelican.dispatch`).  Predictions are identical to the
   per-query loop (rankings exactly, confidences to float round-off);
   only the cost changes.
 * **Cloud model registry** — cloud-deployed personal models live in a
@@ -17,238 +16,56 @@ thousands of devices against one cloud:
   LRU eviction and serialization-backed cold loads, modeling a cloud that
   cannot keep every personal model hot.
 * **Deterministic event clock** — interleaved onboard/update/query
-  workloads are described by a :class:`FleetSchedule` and replayed in
-  ``(time, seq)`` order; consecutive queries sharing a clock tick form
-  one serving batch.  The same seed and schedule always reproduce the
-  same responses, the same per-side MAC totals, and the same registry
-  eviction sequence.
-* **Per-side accounting** — every event's MACs are attributed to the
-  side that executed it (cloud for training, serving of cloud-deployed
-  models, and cold loads; device for personalization, updates, and
-  serving of locally-deployed models) and converted to simulated seconds
-  with the side's :class:`~repro.pelican.device.DeviceProfile`.
+  workloads are described by a
+  :class:`~repro.pelican.clock.FleetSchedule` and replayed in
+  ``(time, seq)`` order through the shared
+  :func:`~repro.pelican.clock.replay_schedule` loop.
+* **Per-side accounting** — every event's MACs are attributed to the side
+  that executed it and converted to simulated seconds in a
+  :class:`~repro.pelican.accounting.FleetReport`.
+
+The event clock, the dispatcher, and the accounting are shard-agnostic
+components (``clock.py``, ``dispatch.py``, ``accounting.py``); a
+``Fleet`` is the one-cloud composition of them, and
+:class:`~repro.pelican.cluster.Cluster` composes N of these fleets into a
+sharded cloud (DESIGN.md §9).  Their historical names are re-exported
+here, so ``from repro.pelican.fleet import FleetSchedule`` keeps working.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.dataset import SequenceDataset
-from repro.data.features import SessionFeatures
-from repro.models.predictor import NextLocationPredictor
 from repro.nn.profiler import flop_counter
+from repro.pelican.accounting import FleetReport
+from repro.pelican.clock import (
+    EventKind,
+    FleetEvent,
+    FleetSchedule,
+    QueryRequest,
+    QueryResponse,
+    replay_schedule,
+)
 from repro.pelican.cloud import ResourceReport
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
-from repro.pelican.registry import ModelRegistry, RegistryStats
+from repro.pelican.dispatch import dispatch_model_batch, group_requests
+from repro.pelican.registry import ModelRegistry
 from repro.pelican.system import OnboardedUser, Pelican
 from repro.models.personalize import PersonalizationMethod
 
-
-# ----------------------------------------------------------------------
-# Workload description
-# ----------------------------------------------------------------------
-class EventKind(str, enum.Enum):
-    """What a fleet event asks the system to do."""
-
-    ONBOARD = "onboard"
-    UPDATE = "update"
-    QUERY = "query"
-
-
-@dataclass(frozen=True)
-class QueryRequest:
-    """One device asking for its user's next-location prediction."""
-
-    user_id: int
-    history: Tuple[SessionFeatures, ...]
-    k: int = 3
+__all__ = [
+    "EventKind",
+    "Fleet",
+    "FleetEvent",
+    "FleetReport",
+    "FleetSchedule",
+    "QueryRequest",
+    "QueryResponse",
+]
 
 
-@dataclass(frozen=True)
-class QueryResponse:
-    """The served answer, tagged with the originating event."""
-
-    user_id: int
-    time: float
-    seq: int
-    top_k: Tuple[Tuple[int, float], ...]
-
-
-@dataclass(frozen=True)
-class FleetEvent:
-    """One scheduled action.  ``seq`` breaks same-time ties (DESIGN.md §7)."""
-
-    time: float
-    seq: int
-    kind: EventKind
-    user_id: int
-    payload: Any = None
-    options: Tuple[Tuple[str, Any], ...] = ()
-
-
-class FleetSchedule:
-    """A deterministic workload: events replayed in ``(time, seq)`` order.
-
-    ``seq`` is assigned at build time, so two schedules constructed by the
-    same code are identical — including how same-time ties resolve.
-    Consecutive QUERY events sharing a clock tick are served as one batch;
-    an ONBOARD/UPDATE at the same tick splits the batch at its position.
-    """
-
-    def __init__(self) -> None:
-        self._events: List[FleetEvent] = []
-        self._seqs: set = set()
-        self._next_seq = 0
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def add(self, event: FleetEvent) -> "FleetSchedule":
-        """Insert a pre-built event, enforcing ``seq`` uniqueness.
-
-        Same-time ties are broken *only* by ``seq``, so two events sharing
-        one would replay in dict/list-iteration order — silently, and
-        differently after an innocent refactor.  The chaos layer
-        (:meth:`~repro.pelican.chaos.ChaosFleet.perturb`) rebuilds
-        schedules through this entry point with the original sequence
-        numbers preserved.
-        """
-        if event.seq in self._seqs:
-            raise ValueError(
-                f"duplicate event seq {event.seq}: same-time ordering is defined "
-                "by seq alone, so every event in a schedule needs a unique one"
-            )
-        self._seqs.add(event.seq)
-        self._next_seq = max(self._next_seq, event.seq + 1)
-        self._events.append(event)
-        return self
-
-    def onboard(
-        self, time: float, user_id: int, dataset: SequenceDataset, **options: Any
-    ) -> "FleetSchedule":
-        """Schedule a device onboarding (options mirror ``Fleet.onboard``)."""
-        self._append(EventKind.ONBOARD, time, user_id, dataset, options)
-        return self
-
-    def update(
-        self, time: float, user_id: int, dataset: SequenceDataset
-    ) -> "FleetSchedule":
-        """Schedule an incremental personal-model update."""
-        self._append(EventKind.UPDATE, time, user_id, dataset, {})
-        return self
-
-    def query(
-        self,
-        time: float,
-        user_id: int,
-        history: Sequence[SessionFeatures],
-        k: int = 3,
-    ) -> "FleetSchedule":
-        """Schedule one service query."""
-        self._append(EventKind.QUERY, time, user_id, tuple(history), {"k": k})
-        return self
-
-    def _append(
-        self,
-        kind: EventKind,
-        time: float,
-        user_id: int,
-        payload: Any,
-        options: Dict[str, Any],
-    ) -> None:
-        self.add(
-            FleetEvent(
-                time=float(time),
-                # Monotone counter, not len(): builder calls interleave
-                # safely with pre-built events inserted through add().
-                seq=self._next_seq,
-                kind=kind,
-                user_id=user_id,
-                payload=payload,
-                options=tuple(sorted(options.items())),
-            )
-        )
-
-    def ordered(self) -> List[FleetEvent]:
-        """Events in replay order."""
-        return sorted(self._events, key=lambda e: (e.time, e.seq))
-
-
-# ----------------------------------------------------------------------
-# Fleet-level accounting
-# ----------------------------------------------------------------------
-@dataclass
-class FleetReport:
-    """Cumulative per-side cost of everything a :class:`Fleet` has done.
-
-    ``cloud_compute`` / ``device_compute`` sum MACs on each side;
-    ``*_simulated_seconds`` convert them through the side's hardware
-    profile (plus registry cold-load fetch time on the cloud side and the
-    per-user personalization estimates on the device side).
-    ``wall_seconds`` inside the embedded reports is measured, so
-    :meth:`signature` — the projection the determinism guarantee covers —
-    excludes it.
-    """
-
-    cloud_profile: DeviceProfile
-    device_profile: DeviceProfile
-    cloud_compute: ResourceReport = field(default_factory=ResourceReport.zero)
-    device_compute: ResourceReport = field(default_factory=ResourceReport.zero)
-    device_simulated_seconds: float = 0.0
-    network_seconds: float = 0.0
-    network_bytes_up: int = 0
-    network_bytes_down: int = 0
-    onboards: int = 0
-    updates: int = 0
-    queries: int = 0
-    batches: int = 0
-    registry: RegistryStats = field(default_factory=RegistryStats)
-
-    @property
-    def cloud_simulated_seconds(self) -> float:
-        """Cloud compute time plus checkpoint-store fetch time."""
-        return (
-            self.cloud_profile.simulated_seconds(self.cloud_compute.macs)
-            + self.registry.simulated_load_seconds
-        )
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.queries / self.batches if self.batches else 0.0
-
-    def signature(self) -> Dict[str, Any]:
-        """The deterministic projection: identical for identical runs.
-
-        Same seed + same schedule ⇒ identical signature (and identical
-        responses); only wall-clock measurements are excluded.
-        """
-        return {
-            "cloud_macs": self.cloud_compute.macs,
-            "device_macs": self.device_compute.macs,
-            "cloud_simulated_seconds": self.cloud_simulated_seconds,
-            "device_simulated_seconds": self.device_simulated_seconds,
-            "network_seconds": self.network_seconds,
-            "network_bytes_up": self.network_bytes_up,
-            "network_bytes_down": self.network_bytes_down,
-            "onboards": self.onboards,
-            "updates": self.updates,
-            "queries": self.queries,
-            "batches": self.batches,
-            "registry_hits": self.registry.hits,
-            "registry_cold_loads": self.registry.cold_loads,
-            "registry_evictions": self.registry.evictions,
-            "registry_load_seconds": self.registry.simulated_load_seconds,
-            "eviction_log": tuple(self.registry.eviction_log),
-        }
-
-
-# ----------------------------------------------------------------------
-# The fleet itself
-# ----------------------------------------------------------------------
 class Fleet:
     """Many simulated devices served by one Pelican cloud.
 
@@ -269,6 +86,10 @@ class Fleet:
     cloud_profile / device_profile:
         Hardware models used to convert per-side MACs into simulated
         seconds; ``device_profile`` is also the default onboarding device.
+    registry_store:
+        Optional shared durable blob store.  A standalone fleet keeps its
+        own; cluster shards pass one dict so every shard can cold-load any
+        user's checkpoint during failover (DESIGN.md §9).
     """
 
     def __init__(
@@ -277,8 +98,10 @@ class Fleet:
         registry_capacity: Optional[int] = 64,
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
+        registry_store: Optional[Dict[int, bytes]] = None,
     ) -> None:
         self.pelican = pelican
+        self._registry_store = registry_store
         self.registry = self._make_registry(registry_capacity, pelican.config.seed)
         self.cloud_profile = cloud_profile
         self.device_profile = device_profile
@@ -296,7 +119,11 @@ class Fleet:
 
     def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:
         """Registry factory hook; the chaos layer substitutes a flaky one."""
-        return ModelRegistry(capacity=capacity, seed=seed)
+        return ModelRegistry(capacity=capacity, seed=seed, store=self._registry_store)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.pelican.users)
 
     # ------------------------------------------------------------------
     # Lifecycle events
@@ -357,17 +184,14 @@ class Fleet:
         """Serve concurrent requests batched per model.
 
         Requests are grouped by ``(user, window length, k)`` in arrival
-        order; each group runs as one fused inference dispatch.  Answers
-        come back in request order and match :meth:`serve_looped` on the
-        same requests (identical rankings; confidences to within float
-        round-off — see DESIGN.md §7).
+        order (:func:`~repro.pelican.dispatch.group_requests`); each group
+        runs as one fused inference dispatch.  Answers come back in
+        request order and match :meth:`serve_looped` on the same requests
+        (identical rankings; confidences to within float round-off — see
+        DESIGN.md §7).
         """
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
-        groups: "OrderedDict[Tuple[int, int, int], List[int]]" = OrderedDict()
-        for idx, request in enumerate(requests):
-            key = (request.user_id, len(request.history), request.k)
-            groups.setdefault(key, []).append(idx)
-        for (user_id, _, k), indices in groups.items():
+        for (user_id, _, k), indices in group_requests(requests).items():
             user = self.pelican.users[user_id]
             histories = [requests[i].history for i in indices]
             results = self._dispatch(user, user_id, histories, k)
@@ -421,7 +245,7 @@ class Fleet:
         self,
         user: OnboardedUser,
         user_id: int,
-        histories: Sequence[Tuple[SessionFeatures, ...]],
+        histories: Sequence[Tuple],
         k: int,
     ) -> List[List[Tuple[int, float]]]:
         """One batched group against the right side's model."""
@@ -430,10 +254,10 @@ class Fleet:
             # evicted); every device still pays its own query exchange,
             # accounted at the endpoint's single accounting boundary.
             model = self.registry.get(user_id)
-            predictor = NextLocationPredictor(model, self.pelican.spec)
-            with flop_counter() as counter:
-                results = predictor.top_k_batch(histories, k)
-            self.report.cloud_compute += ResourceReport.from_counter(counter)
+            results, report = dispatch_model_batch(
+                model, self.pelican.spec, histories, k
+            )
+            self.report.cloud_compute += report
             user.endpoint.record_query_exchange(len(histories))
             return results
         # Local deployment: the device computes its own answers, no network.
@@ -451,51 +275,19 @@ class Fleet:
     def run(self, schedule: FleetSchedule) -> List[QueryResponse]:
         """Replay a schedule on the simulated event clock.
 
-        Events execute in ``(time, seq)`` order.  A maximal run of
-        consecutive QUERY events sharing one clock tick is *concurrent*
-        and served as one :meth:`serve` batch; any other event flushes the
-        pending batch first.  Responses come back in event order, tagged
-        with their event's ``(time, seq)``.
+        Delegates to the shared :func:`~repro.pelican.clock.replay_schedule`
+        loop: events execute in ``(time, seq)`` order, maximal runs of
+        consecutive same-tick QUERY events serve as one :meth:`serve`
+        batch, and any other event flushes the pending batch first.
+        Responses come back in event order, tagged with their event's
+        ``(time, seq)``.
         """
-        responses: List[QueryResponse] = []
-        pending: List[FleetEvent] = []
-
-        def flush() -> None:
-            if not pending:
-                return
-            batch = [
-                QueryRequest(
-                    user_id=e.user_id,
-                    history=e.payload,
-                    k=dict(e.options).get("k", 3),
-                )
-                for e in pending
-            ]
-            for event, response in zip(pending, self.serve(batch)):
-                responses.append(
-                    QueryResponse(
-                        user_id=response.user_id,
-                        time=event.time,
-                        seq=event.seq,
-                        top_k=response.top_k,
-                    )
-                )
-            pending.clear()
-
-        for event in schedule.ordered():
-            if event.kind is EventKind.QUERY:
-                if pending and pending[-1].time != event.time:
-                    flush()
-                pending.append(event)
-                continue
-            flush()
-            options = dict(event.options)
-            if event.kind is EventKind.ONBOARD:
-                self.onboard(event.user_id, event.payload, **options)
-            elif event.kind is EventKind.UPDATE:
-                self.update(event.user_id, event.payload)
-        flush()
-        return responses
+        return replay_schedule(
+            schedule,
+            serve=lambda _time, requests: self.serve(requests),
+            onboard=lambda e: self.onboard(e.user_id, e.payload, **dict(e.options)),
+            update=lambda e: self.update(e.user_id, e.payload),
+        )
 
     # ------------------------------------------------------------------
     def _sync_network(self) -> None:

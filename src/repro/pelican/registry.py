@@ -52,6 +52,13 @@ class ModelRegistry:
     storage_mbps:
         Simulated checkpoint-store fetch bandwidth; a cold load of a
         ``b``-byte blob costs ``b * 8 / (storage_mbps * 1e6)`` seconds.
+    store:
+        The durable blob store to read/write.  Defaults to a private
+        dict; a :class:`~repro.pelican.cluster.Cluster` passes one shared
+        dict to every shard's registry, modeling cluster-wide durable
+        storage under per-shard live caches — which is what lets a
+        failover shard cold-load a user it never registered
+        (DESIGN.md §9).
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class ModelRegistry:
         capacity: Optional[int] = 64,
         seed: int = 0,
         storage_mbps: float = 400.0,
+        store: Optional[Dict[int, bytes]] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("registry capacity must be >= 1 (or None for unbounded)")
@@ -67,7 +75,7 @@ class ModelRegistry:
         self.capacity = capacity
         self.seed = seed
         self.storage_mbps = storage_mbps
-        self._blobs: Dict[int, bytes] = {}
+        self._blobs: Dict[int, bytes] = {} if store is None else store
         self._live: "OrderedDict[int, NextLocationModel]" = OrderedDict()
         self.stats = RegistryStats()
 

@@ -176,6 +176,9 @@ class Pelican:
             endpoint, _ = deploy_cloud(result.model, self.spec, self.channel, rng)
         else:
             endpoint = deploy_local(result.model, self.spec)
+        # The user keeps their query ledger across redeploys: an update
+        # swaps the model behind the endpoint, it doesn't reset the books.
+        endpoint.stats = user.endpoint.stats
         merged = SequenceDataset(
             spec=user.local_dataset.spec,
             windows=[*user.local_dataset.windows, *new_dataset.windows],

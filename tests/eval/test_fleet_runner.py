@@ -27,3 +27,21 @@ class TestFleetThroughput:
         assert "parity: identical outputs" in text
         assert "per-side attribution" in text
         assert "registry" in text
+
+    def test_sharded_run_matches_single_cloud(self):
+        """The --shards axis: same workload, same totals, sharded books."""
+        single = run_fleet_throughput(
+            ExperimentScale.tiny(), queries_per_user=4, fast_setup=True
+        )
+        sharded = run_fleet_throughput(
+            ExperimentScale.tiny(), queries_per_user=4, fast_setup=True, num_shards=2
+        )
+        assert sharded.parity
+        assert sharded.num_shards == 2
+        assert sharded.num_queries == single.num_queries
+        assert sharded.report.queries == single.report.queries
+        # The per-shard books sum to the same serving totals.
+        assert sharded.report.cloud_compute.macs == single.report.cloud_compute.macs
+        text = render_fleet(sharded)
+        assert "on 2 shards" in text
+        assert "per-shard breakdown" in text

@@ -85,6 +85,33 @@ class TestScenarioSuite:
         with pytest.raises(KeyError):
             tiny_suite.cell("campus", "meteor_strike")
 
+    def test_sharded_suite_runs_and_reproduces(self):
+        """The --shards axis: cluster cells cover the same matrix and the
+        replay (including shard outages with failover) is deterministic."""
+        kwargs = dict(
+            regimes=("campus",),
+            policies=("none", "shard_outage"),
+            queries_per_user=2,
+            fast_setup=True,
+            num_shards=2,
+        )
+        suite = run_scenario_suite(ExperimentScale.tiny(), **kwargs)
+        rerun = run_scenario_suite(ExperimentScale.tiny(), **kwargs)
+        assert suite.num_shards == 2
+        assert len(suite.results) == 2
+        for cell, again in zip(suite.results, rerun.results):
+            assert cell.signature == again.signature
+            assert cell.chaos == again.chaos
+            assert cell.hit_rate == again.hit_rate
+        clean = suite.cell("campus", "none")
+        outage = suite.cell("campus", "shard_outage")
+        assert len(clean.signature["shards"]) == 2
+        assert outage.num_queries == clean.num_queries
+        # Outages cost time/routing, never answers or compute totals.
+        assert outage.signature["cloud_macs"] == clean.signature["cloud_macs"]
+        assert "scenario matrix @ tiny" in render_scenarios(suite)
+        assert "2 shards" in render_scenarios(suite)
+
     def test_render(self, tiny_suite):
         text = render_scenarios(tiny_suite)
         assert "scenario matrix @ tiny" in text

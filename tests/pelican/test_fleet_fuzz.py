@@ -175,14 +175,11 @@ def test_generated_schedule_invariants(base, tiny_corpus, seed):
     assert fleet.report.queries - fleet0.report.queries == num_queries
     assert_channel_conserved(fleet.pelican.channel)
     # Every query exchange was charged exactly once: per-endpoint query
-    # counters moved by exactly the events each user issued.  (An UPDATE
-    # redeploys a fresh endpoint with zeroed stats, so the per-endpoint
-    # ledger restarts for updated users; the fleet-level total above
-    # stays conserved regardless.)
-    updated = {e.user_id for e in events if e.kind is EventKind.UPDATE}
+    # counters moved by exactly the events each user issued.  An UPDATE
+    # redeploys a fresh endpoint but the user's QueryStats ledger carries
+    # across the redeploy (``Pelican.update_user``), so this holds for
+    # updated users too.
     for uid, user in fleet.pelican.users.items():
-        if uid in updated:
-            continue
         issued = sum(
             1 for e in events if e.kind is EventKind.QUERY and e.user_id == uid
         )

@@ -64,6 +64,24 @@ class TestLifecycle:
         assert len(refreshed.local_dataset) == before_windows + len(test)
         assert pelican.users[uid] is refreshed
 
+    def test_update_carries_query_stats_across_redeploy(self, pelican, tiny_corpus):
+        """An update swaps the model behind the endpoint; the user's query
+        ledger must survive the redeploy (found by the fuzz harness)."""
+        uid = tiny_corpus.personal_ids[0]
+        train, test = tiny_corpus.user_dataset(uid, SpatialLevel.BUILDING).split(0.8)
+        if uid not in pelican.users:
+            pelican.onboard_user(uid, train)
+        pelican.query(uid, test.windows[0].history, k=3)
+        stats = pelican.users[uid].endpoint.stats
+        queries_before = stats.queries
+        seconds_before = stats.simulated_network_seconds
+        assert queries_before > 0
+        refreshed = pelican.update_user(uid, test)
+        assert refreshed.endpoint.stats.queries == queries_before
+        assert refreshed.endpoint.stats.simulated_network_seconds == seconds_before
+        pelican.query(uid, test.windows[0].history, k=3)
+        assert refreshed.endpoint.stats.queries == queries_before + 1
+
     def test_overhead_summary_keys(self, pelican):
         summary = pelican.overhead_summary()
         assert summary["cloud_billion_cycles"] > 0

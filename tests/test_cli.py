@@ -26,7 +26,17 @@ class TestParser:
         assert args.scale == "tiny"
         assert args.queries_per_user == 32
         assert args.capacity == 64
+        assert args.shards == 1
+        assert args.placement == "hash"
         assert not args.fast
+
+    def test_placement_choices(self):
+        args = build_parser().parse_args(["fleet", "--placement", "least_loaded"])
+        assert args.placement == "least_loaded"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--placement", "alphabetical"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--placement", "alphabetical"])
 
     def test_scenarios_defaults(self):
         args = build_parser().parse_args(["scenarios"])
@@ -84,6 +94,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "unbounded" in out
+
+    def test_fleet_sharded_run(self, capsys):
+        code = main(
+            ["fleet", "--fast", "--queries-per-user", "4", "--shards", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parity: identical outputs" in out
+        assert "on 2 shards" in out
+        assert "per-shard breakdown" in out
+        assert "shard 1:" in out
+
+    def test_fleet_shards_zero_rejected(self, capsys):
+        assert main(["fleet", "--fast", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_scenarios_sharded_run(self, capsys):
+        code = main(
+            [
+                "scenarios", "--fast",
+                "--regimes", "campus",
+                "--policies", "none", "shard_outage",
+                "--queries-per-user", "2",
+                "--shards", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 shards" in out
+        assert "shard_outage" in out
 
     def test_scenarios_fast_run(self, capsys):
         code = main(
