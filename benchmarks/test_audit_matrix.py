@@ -1,0 +1,170 @@
+"""Privacy-audit benchmark: batched probe dispatch vs. the per-probe loop.
+
+Stands up a Pelican fleet at the ``tiny`` scale (mixed local/cloud
+deployment, fast setup) and attacks every user's live model with the
+paper's time-based enumeration attack (§III-B2) two ways:
+
+* ``looped``  — the service-API adversary: one black-box confidence
+  query per candidate probe
+  (:func:`~repro.attacks.fleet_adversary.run_fleet_audit_looped`);
+* ``batched`` — the audit path (DESIGN.md §10): all of a user's candidate
+  probes grouped per ``(user, window, k)`` and dispatched through the
+  fused probe kernel
+  (:func:`~repro.attacks.fleet_adversary.run_fleet_audit`).
+
+``test_audit_batched_speedup_and_parity`` pins the acceptance bar: the
+batched audit must be ≥ 3x faster (relaxed to 1.5x under CI) with
+**bit-identical reconstruction rankings** — against both the looped
+serving path and the historical ``InversionAttack.run`` loop over bare
+predictors.
+
+A second timing target pins the full ``run_audit_suite`` matrix cell
+cost (adversaries × defenses on one regime), the audit analogue of
+``test_scenario_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.attacks import (
+    AdversaryClass,
+    AuditAdversary,
+    AuditTarget,
+    TimeBasedAttack,
+    evaluate_attack,
+    run_fleet_audit,
+    run_fleet_audit_looped,
+    true_prior,
+)
+from repro.attacks.fleet_adversary import rankings
+from repro.data import SpatialLevel, generate_corpus
+from repro.eval import ExperimentScale, run_audit_suite
+from repro.eval.fleet import training_configs
+from repro.pelican import DeploymentMode, Fleet, Pelican, PelicanConfig
+
+LEVEL = SpatialLevel.BUILDING
+MAX_INSTANCES = 4
+# Same bar as the fleet/cluster serving benchmarks: wall-clock ratios are
+# jittery on shared CI runners, so CI only sanity-checks the direction —
+# ranking parity stays a hard gate everywhere.
+MIN_SPEEDUP = 1.5 if os.environ.get("CI") else 3.0
+
+
+@pytest.fixture(scope="module")
+def audit_workload():
+    """(fleet, adversary, targets) — one deployed fleet under audit."""
+    scale = ExperimentScale.tiny()
+    general, personalization = training_configs(scale, fast_setup=True)
+    corpus = generate_corpus(scale.corpus)
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    fleet = Fleet(pelican, registry_capacity=64)
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    fleet.train_cloud(train)
+    targets = []
+    for i, uid in enumerate(corpus.personal_ids):
+        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        fleet.onboard(uid, user_train, deployment=mode)
+        targets.append(
+            AuditTarget(
+                user_id=uid, attack_windows=holdout, prior=true_prior(user_train)
+            )
+        )
+    adversary = AuditAdversary(
+        TimeBasedAttack(), AdversaryClass.A1, max_instances=MAX_INSTANCES
+    )
+    return fleet, adversary, targets
+
+
+def test_audit_probe_looped(benchmark, audit_workload):
+    """Service-API adversary: one black-box query per candidate probe."""
+    fleet, adversary, targets = audit_workload
+    benchmark(run_fleet_audit_looped, fleet, adversary, targets)
+
+
+def test_audit_probe_batched(benchmark, audit_workload):
+    """Audit path: probes grouped per user, fused probe dispatch.
+
+    Runs against the shared fleet — probe dispatch only appends to the
+    books (unbounded registry, no eviction churn), so repeated rounds
+    time identical work.
+    """
+    fleet, adversary, targets = audit_workload
+    benchmark(run_fleet_audit, fleet, adversary, targets)
+
+
+def test_audit_batched_speedup_and_parity(audit_workload):
+    """Acceptance: batched audit ≥ 3x faster than the per-probe loop
+    (relaxed under CI), reconstruction rankings bit-identical — vs. both
+    the looped path and the historical bare InversionAttack.run loop."""
+    fleet, adversary, targets = audit_workload
+
+    def best_of(fn, rounds=3):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    looped_seconds, looped = best_of(
+        lambda: run_fleet_audit_looped(fleet, adversary, targets)
+    )
+    batched_seconds, batched = best_of(
+        lambda: run_fleet_audit(fleet, adversary, targets)[0]
+    )
+    assert rankings(batched) == rankings(looped), (
+        "batched audit rankings diverged from the per-probe loop"
+    )
+
+    bare_targets = {
+        t.user_id: (
+            fleet.pelican.users[t.user_id].endpoint.predictor,
+            t.attack_windows,
+            t.prior,
+        )
+        for t in targets
+    }
+    bare = evaluate_attack(
+        TimeBasedAttack(), bare_targets, AdversaryClass.A1,
+        max_instances=MAX_INSTANCES,
+    )
+    assert rankings(batched) == rankings(bare), (
+        "fleet-served audit diverged from looping InversionAttack.run"
+    )
+
+    speedup = looped_seconds / batched_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched audit only {speedup:.2f}x faster than the per-probe loop "
+        f"({batched_seconds * 1e3:.2f}ms vs {looped_seconds * 1e3:.2f}ms)"
+    )
+
+
+def test_audit_matrix_tiny(benchmark):
+    """Full audit-suite cell cost: 2 defenses x 1 adversary on campus."""
+    scale = ExperimentScale.tiny()
+    result = benchmark.pedantic(
+        lambda: run_audit_suite(
+            scale,
+            regimes=("campus",),
+            defenses=("none", "temperature"),
+            adversaries=("A1",),
+            queries_per_user=1,
+            max_instances=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.cells) == 2
+    assert all(cell.adversary_queries > 0 for cell in result.cells)

@@ -4,6 +4,12 @@ Three attack methods (brute force, gradient descent with temperature
 softening, time-based enumeration), three adversary classes (A1/A2/A3),
 four prior-knowledge modes, plus candidate pruning and population-level
 attack evaluation.
+
+Enumeration attacks split into a *plan* (the candidate probe grids, pure
+adversary-side knowledge) and shared *query/score* machinery — which is
+what lets :mod:`repro.attacks.fleet_adversary` ship the identical probes
+through the fleet serving stack (DESIGN.md §10) instead of querying a
+bare predictor, with bit-identical reconstruction rankings.
 """
 
 from repro.attacks.adversary import (
@@ -16,7 +22,9 @@ from repro.attacks.adversary import (
 )
 from repro.attacks.base import (
     AttackOutput,
+    EnumerationAttack,
     InversionAttack,
+    ProbePlan,
     Reconstruction,
     encode_candidates,
     query_output_confidence,
@@ -37,6 +45,13 @@ from repro.attacks.priors import (
     true_prior,
     uniform_prior,
 )
+from repro.attacks.fleet_adversary import (
+    AuditAdversary,
+    AuditTarget,
+    ProbeBatch,
+    run_fleet_audit,
+    run_fleet_audit_looped,
+)
 from repro.attacks.runner import (
     AttackEvaluation,
     UserAttackResult,
@@ -50,12 +65,17 @@ __all__ = [
     "AttackEvaluation",
     "AttackInstance",
     "AttackOutput",
+    "AuditAdversary",
+    "AuditTarget",
     "BruteForceAttack",
     "DEFAULT_CONFIDENCE_THRESHOLD",
+    "EnumerationAttack",
     "GradientAttackConfig",
     "GradientDescentAttack",
     "InversionAttack",
     "PriorMethod",
+    "ProbeBatch",
+    "ProbePlan",
     "Reconstruction",
     "SearchSpace",
     "T_MINUS_1",
@@ -73,6 +93,8 @@ __all__ = [
     "prune_locations",
     "query_output_confidence",
     "rank_locations",
+    "run_fleet_audit",
+    "run_fleet_audit_looped",
     "true_prior",
     "uniform_prior",
 ]

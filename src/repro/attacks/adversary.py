@@ -54,7 +54,8 @@ class AdversaryClass(str, Enum):
 
 @dataclass(frozen=True)
 class AttackInstance:
-    """One concrete attack problem derived from a ground-truth window.
+    """One concrete attack problem derived from a ground-truth window
+    (paper Table I: the adversary's view under its knowledge class).
 
     Attributes
     ----------

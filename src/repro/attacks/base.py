@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.attacks.adversary import AttackInstance
+from repro.attacks.adversary import AdversaryClass, AttackInstance
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.predictor import NextLocationPredictor
 from repro.nn import get_default_dtype
@@ -29,7 +29,12 @@ QUERY_CHUNK = 4096
 
 @dataclass(frozen=True)
 class Reconstruction:
-    """Ranked location hypotheses for one missing timestep."""
+    """Ranked location hypotheses for one missing timestep.
+
+    The attack's output unit (paper §III-B2): attack accuracy at top-k
+    (Table II, Figs 2–3) is the fraction of reconstructions whose true
+    location lands in the first ``k`` entries (:meth:`hit`).
+    """
 
     step: int
     ranked_locations: np.ndarray
@@ -42,7 +47,7 @@ class Reconstruction:
 
 @dataclass
 class AttackOutput:
-    """The result of attacking one instance."""
+    """The result of attacking one instance (the unit of paper §IV scoring)."""
 
     instance: AttackInstance
     reconstructions: Dict[int, Reconstruction]
@@ -58,7 +63,14 @@ class AttackOutput:
 
 
 class InversionAttack:
-    """Base class: subclasses implement :meth:`reconstruct`."""
+    """Base class for model-inversion attacks (paper §III-B2).
+
+    Subclasses implement :meth:`reconstruct`; enumeration attacks should
+    subclass :class:`EnumerationAttack` instead, which splits the work
+    into a *plan* (which candidate probes to send) and a *score* (how to
+    rank the answers) so the probes can also be dispatched through the
+    fleet serving stack (:mod:`repro.attacks.fleet_adversary`).
+    """
 
     name: str = "base"
 
@@ -87,6 +99,97 @@ class InversionAttack:
             num_queries=queries,
             elapsed_seconds=elapsed,
         )
+
+
+@dataclass(frozen=True, eq=False)
+class ProbePlan:
+    """The candidate probes an enumeration attack sends for one instance.
+
+    ``candidate_features[step]`` maps feature name (``entry``,
+    ``duration``, ``location``) to an ``(n,)`` integer grid for missing
+    timestep ``step``; all steps share one candidate count ``n``.  The
+    plan is pure adversary-side knowledge — deriving it queries nothing —
+    which is what lets the fleet audit path ship the same probes through
+    the serving stack that :meth:`EnumerationAttack.reconstruct` would
+    have queried directly.
+    """
+
+    candidate_features: Dict[int, Dict[str, np.ndarray]]
+    n: int
+
+
+class EnumerationAttack(InversionAttack):
+    """An attack that scores an enumerated candidate grid (paper §III-B2).
+
+    Subclasses implement only :meth:`plan`.  :meth:`reconstruct` is the
+    shared pipeline — encode the plan, query the black-box confidence of
+    the observed output, weight by the prior, rank per location — and
+    :meth:`score` is reusable on confidences obtained any other way
+    (e.g. probe responses served by a
+    :class:`~repro.pelican.fleet.Fleet`), so direct and fleet-served
+    attacks produce bit-identical rankings from identical confidences.
+    """
+
+    def __init__(self, tie_break: str = "id") -> None:
+        self.tie_break = tie_break
+
+    def plan(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
+        """The candidate grids this attack would enumerate for ``instance``."""
+        raise NotImplementedError
+
+    def supports(self, adversary: "AdversaryClass") -> bool:
+        """Whether this attack can plan for ``adversary``'s missing steps.
+
+        Lets callers reject an incompatible pairing *before* any
+        expensive setup (the audit suite validates its whole matrix up
+        front), instead of crashing in :meth:`plan` mid-run.
+        """
+        return True
+
+    def score(
+        self,
+        instance: AttackInstance,
+        plan: ProbePlan,
+        confidence: np.ndarray,
+        prior: np.ndarray,
+    ) -> Dict[int, Reconstruction]:
+        """Rank locations from per-candidate confidences.
+
+        Each candidate's score is the observed-output confidence weighted
+        by the prior of every missing step's candidate location (a single
+        factor for A1/A2, the joint product for A3 — the paper's
+        formalization); per missing step the candidates then rank through
+        :func:`rank_locations` under this attack's tie-break rule.
+        """
+        scores = confidence
+        for grids in plan.candidate_features.values():
+            scores = scores * prior[grids["location"]]
+        reconstructions: Dict[int, Reconstruction] = {}
+        for step, grids in plan.candidate_features.items():
+            ranked, ranked_scores = rank_locations(
+                grids["location"], scores, prior, self.tie_break
+            )
+            reconstructions[step] = Reconstruction(
+                step=step, ranked_locations=ranked, scores=ranked_scores
+            )
+        return reconstructions
+
+    def reconstruct(
+        self,
+        instance: AttackInstance,
+        predictor: NextLocationPredictor,
+        prior: np.ndarray,
+    ) -> Tuple[Dict[int, Reconstruction], int]:
+        plan = self.plan(instance, predictor.spec)
+        batch = encode_candidates(
+            predictor.spec,
+            instance.known,
+            plan.candidate_features,
+            instance.day_of_week,
+            plan.n,
+        )
+        confidence = query_output_confidence(predictor, batch, instance.observed_output)
+        return self.score(instance, plan, confidence, prior), plan.n
 
 
 # ----------------------------------------------------------------------

@@ -13,61 +13,49 @@ force either (its Fig 2a uses the default adversary A1).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import numpy as np
 
 from repro.attacks.adversary import AttackInstance
-from repro.attacks.base import (
-    InversionAttack,
-    Reconstruction,
-    encode_candidates,
-    query_output_confidence,
-    rank_locations,
-)
+from repro.attacks.base import EnumerationAttack, ProbePlan
 from repro.attacks.candidates import SearchSpace
-from repro.models.predictor import NextLocationPredictor
+from repro.data.features import FeatureSpec
 
 
-class BruteForceAttack(InversionAttack):
-    """Exhaustive enumeration over every feature bin of the missing step."""
+class BruteForceAttack(EnumerationAttack):
+    """Exhaustive enumeration over every feature bin of the missing step
+    (paper §III-B2; the Table II cost ceiling and the Fig 2a baseline).
+
+    The attack is fully described by its :meth:`plan` — the full
+    ``entry x duration x location`` grid — with querying and scoring
+    shared by :class:`~repro.attacks.base.EnumerationAttack`.
+    """
 
     name = "brute force"
 
-    def __init__(self, tie_break: str = "id") -> None:
-        self.tie_break = tie_break
+    def supports(self, adversary) -> bool:
+        return len(adversary.missing_steps) == 1
 
-    def reconstruct(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
+    def plan(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
         if len(instance.missing) != 1:
             raise ValueError(
                 "brute-force attack supports a single missing timestep (A1/A2); "
                 f"got {len(instance.missing)} missing steps ({instance.adversary.value})"
             )
-        spec = predictor.spec
         space = SearchSpace.full(spec.num_locations, spec.duration_bins, spec.entry_bins)
         step = instance.missing[0]
-
         entry_grid, duration_grid, location_grid = (
             arr.ravel()
             for arr in np.meshgrid(
                 space.entry_bins, space.duration_bins, space.locations, indexing="ij"
             )
         )
-        n = len(entry_grid)
-        batch = encode_candidates(
-            spec,
-            instance.known,
-            {step: {"entry": entry_grid, "duration": duration_grid, "location": location_grid}},
-            instance.day_of_week,
-            n,
+        return ProbePlan(
+            candidate_features={
+                step: {
+                    "entry": entry_grid,
+                    "duration": duration_grid,
+                    "location": location_grid,
+                }
+            },
+            n=len(entry_grid),
         )
-        confidence = query_output_confidence(predictor, batch, instance.observed_output)
-        scores = confidence * prior[location_grid]
-        ranked, ranked_scores = rank_locations(location_grid, scores, prior, self.tie_break)
-        recon = Reconstruction(step=step, ranked_locations=ranked, scores=ranked_scores)
-        return {step: recon}, n

@@ -51,7 +51,8 @@ def prune_locations(
 
 @dataclass(frozen=True)
 class SearchSpace:
-    """Feature grids an enumeration attack iterates over."""
+    """Feature grids an enumeration attack iterates over (paper §III-B2;
+    its size drives the Table II runtime/query columns)."""
 
     locations: np.ndarray
     duration_bins: np.ndarray

@@ -33,7 +33,8 @@ from repro.nn.functional import softmax_np
 
 @dataclass
 class GradientAttackConfig:
-    """Optimization hyperparameters for the reconstruction loop."""
+    """Optimization hyperparameters for the reconstruction loop
+    (paper §III-B2; the gradient rows of Table II / Fig 2a)."""
 
     iterations: int = 120
     learning_rate: float = 0.3
@@ -42,11 +43,14 @@ class GradientAttackConfig:
 
 
 class GradientDescentAttack(InversionAttack):
-    """Backprop-to-input reconstruction of the missing timestep(s).
+    """Backprop-to-input reconstruction of the missing timestep(s)
+    (paper §III-B2; the weakest Fig 2a method, <16% accuracy).
 
     Requires gradient access to the model (the provider holds the model
     file under cloud deployment), unlike the enumeration attacks which are
-    purely black-box.
+    purely black-box — which is also why it cannot run as a fleet audit
+    workload (DESIGN.md §10): the serving stack only ever exposes the
+    black-box confidence surface.
     """
 
     name = "gradient descent"

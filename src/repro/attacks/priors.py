@@ -28,7 +28,8 @@ ESTIMATE_TOP_MASS = 0.75
 
 
 class PriorMethod(str, Enum):
-    """How the adversary obtains the marginal prior ``p``."""
+    """How the adversary obtains the marginal prior ``p``
+    (paper §IV-B3; the Fig 2c comparison axis)."""
 
     TRUE = "true"
     NONE = "none"

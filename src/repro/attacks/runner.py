@@ -26,13 +26,25 @@ from repro.nn import dtype_policy
 
 @dataclass
 class UserAttackResult:
-    """All attack outputs against one user's personal model."""
+    """All attack outputs against one user's personal model (the per-user
+    slice of the paper's Fig 3b/3c analyses)."""
 
     user_id: int
     outputs: List[AttackOutput] = field(default_factory=list)
 
+    @property
+    def num_reconstructions(self) -> int:
+        """Missing-step reconstructions attempted against this user."""
+        return sum(len(output.reconstructions) for output in self.outputs)
+
     def accuracy(self, k: int) -> float:
-        """Fraction of missing-step reconstructions with a top-k hit."""
+        """Fraction of missing-step reconstructions with a top-k hit.
+
+        ``nan`` when the user contributed no reconstructions (no attack
+        windows); aggregate views must not average that ``nan`` in —
+        use :meth:`AttackEvaluation.per_user_accuracy`, which skips empty
+        users and reports them through ``coverage`` instead.
+        """
         hits = [hit for output in self.outputs for hit in output.hits(k)]
         return float(np.mean(hits)) if hits else float("nan")
 
@@ -47,7 +59,8 @@ class UserAttackResult:
 
 @dataclass
 class AttackEvaluation:
-    """Attack results across the personal-user population."""
+    """Attack results across the personal-user population (the aggregate
+    the paper's Table II and Figs 2/3 report)."""
 
     attack_name: str
     adversary: AdversaryClass
@@ -66,8 +79,55 @@ class AttackEvaluation:
     def accuracy_series(self, ks: Sequence[int]) -> Dict[int, float]:
         return {k: self.accuracy(k) for k in ks}
 
+    @property
+    def covered_users(self) -> List[int]:
+        """Users with at least one reconstruction to score."""
+        return [
+            uid
+            for uid, result in self.per_user.items()
+            if result.num_reconstructions > 0
+        ]
+
+    @property
+    def empty_users(self) -> List[int]:
+        """Users the attack produced nothing for (no attack windows).
+
+        These are *excluded* from per-user aggregates — their accuracy is
+        undefined, not zero — and reported here so the omission is
+        explicit rather than a silently propagating ``nan``.
+        """
+        return [
+            uid
+            for uid, result in self.per_user.items()
+            if result.num_reconstructions == 0
+        ]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of attacked users that contributed reconstructions."""
+        if not self.per_user:
+            return 0.0
+        return len(self.covered_users) / len(self.per_user)
+
     def per_user_accuracy(self, k: int) -> Dict[int, float]:
-        return {uid: result.accuracy(k) for uid, result in self.per_user.items()}
+        """Per-user accuracies over *covered* users only.
+
+        A user with zero instances has no defined accuracy; including
+        their ``nan`` would silently poison any downstream mean (the
+        Fig 3b/3c scatter studies average these).  Check
+        :attr:`coverage` / :attr:`empty_users` for who was skipped.
+        """
+        return {
+            uid: result.accuracy(k)
+            for uid, result in self.per_user.items()
+            if result.num_reconstructions > 0
+        }
+
+    def mean_user_accuracy(self, k: int) -> float:
+        """Unweighted mean of covered users' accuracies (nan-free unless
+        no user is covered at all)."""
+        accuracies = list(self.per_user_accuracy(k).values())
+        return float(np.mean(accuracies)) if accuracies else float("nan")
 
     @property
     def total_queries(self) -> int:

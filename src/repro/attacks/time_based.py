@@ -12,29 +12,28 @@ Exploits two structural properties of mobile trajectories:
 Together these cut the search space by ~two orders of magnitude relative to
 brute force (paper Table II: 82.18h -> 0.68h for 100 users) while matching
 its accuracy (Fig 2a).
+
+Like every enumeration attack the method is fully described by its
+candidate :meth:`~TimeBasedAttack.plan`; querying and prior-weighted
+ranking are shared (:class:`~repro.attacks.base.EnumerationAttack`), so
+the same plan can be probed directly or through the fleet serving stack
+(:mod:`repro.attacks.fleet_adversary`) with bit-identical rankings.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.attacks.adversary import T_MINUS_1, T_MINUS_2, AttackInstance
-from repro.attacks.base import (
-    InversionAttack,
-    Reconstruction,
-    encode_candidates,
-    query_output_confidence,
-    rank_locations,
-)
+from repro.attacks.base import EnumerationAttack, ProbePlan
 from repro.data.features import (
     FeatureSpec,
     discretize_entry,
     duration_bin_to_minute,
     entry_bin_to_minute,
 )
-from repro.models.predictor import NextLocationPredictor
 
 MINUTES_PER_DAY = 24 * 60
 
@@ -44,8 +43,9 @@ def _derive_entry_bin(anchor_minute: float, spec: FeatureSpec) -> int:
     return discretize_entry(clamped)
 
 
-class TimeBasedAttack(InversionAttack):
-    """Smart enumeration using cross-sequence time correlation.
+class TimeBasedAttack(EnumerationAttack):
+    """Smart enumeration using cross-sequence time correlation
+    (paper §III-B2; Table II runtime rows, Fig 2a accuracy).
 
     Parameters
     ----------
@@ -67,11 +67,11 @@ class TimeBasedAttack(InversionAttack):
         a3_duration_stride: int = 4,
         tie_break: str = "id",
     ) -> None:
+        super().__init__(tie_break=tie_break)
         self.candidate_locations = candidate_locations
         self.entry_slack = entry_slack
         self.a3_entry_stride = a3_entry_stride
         self.a3_duration_stride = a3_duration_stride
-        self.tie_break = tie_break
 
     def _entry_candidates(self, anchor_minute: float, spec: FeatureSpec) -> np.ndarray:
         """Derived entry bin ± slack.
@@ -85,34 +85,23 @@ class TimeBasedAttack(InversionAttack):
         hi = min(spec.entry_bins - 1, center + self.entry_slack)
         return np.arange(lo, hi + 1)
 
-    # ------------------------------------------------------------------
-    def reconstruct(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
-        if instance.missing == (T_MINUS_1,):
-            return self._attack_missing_t1(instance, predictor, prior)
-        if instance.missing == (T_MINUS_2,):
-            return self._attack_missing_t2(instance, predictor, prior)
-        return self._attack_missing_both(instance, predictor, prior)
-
     def _locations(self, spec: FeatureSpec) -> np.ndarray:
         if self.candidate_locations is None:
             return np.arange(spec.num_locations)
         return np.asarray(self.candidate_locations)
 
     # ------------------------------------------------------------------
+    def plan(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
+        if instance.missing == (T_MINUS_1,):
+            return self._plan_missing_t1(instance, spec)
+        if instance.missing == (T_MINUS_2,):
+            return self._plan_missing_t2(instance, spec)
+        return self._plan_missing_both(instance, spec)
+
+    # ------------------------------------------------------------------
     # A1: x_{t-2} known, x_{t-1} missing
     # ------------------------------------------------------------------
-    def _attack_missing_t1(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
-        spec = predictor.spec
+    def _plan_missing_t1(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
         known = instance.known[T_MINUS_2]
         # Continuity: the missing session starts when the known one ends.
         entries = self._entry_candidates(
@@ -124,20 +113,21 @@ class TimeBasedAttack(InversionAttack):
         entry_grid, duration_grid, location_grid = (
             arr.ravel() for arr in np.meshgrid(entries, durations, locations, indexing="ij")
         )
-        return self._score_single_step(
-            instance, predictor, prior, T_MINUS_1, entry_grid, duration_grid, location_grid
+        return ProbePlan(
+            candidate_features={
+                T_MINUS_1: {
+                    "entry": entry_grid,
+                    "duration": duration_grid,
+                    "location": location_grid,
+                }
+            },
+            n=len(location_grid),
         )
 
     # ------------------------------------------------------------------
     # A2: x_{t-1} known, x_{t-2} missing
     # ------------------------------------------------------------------
-    def _attack_missing_t2(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
-        spec = predictor.spec
+    def _plan_missing_t2(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
         known = instance.known[T_MINUS_1]
         locations = self._locations(spec)
         durations = np.arange(spec.duration_bins)
@@ -160,44 +150,21 @@ class TimeBasedAttack(InversionAttack):
         ).ravel()
         duration_grid = np.repeat(duration_grid, len(slack))
         location_grid = np.repeat(location_grid, len(slack))
-        return self._score_single_step(
-            instance, predictor, prior, T_MINUS_2, entry_grid, duration_grid, location_grid
+        return ProbePlan(
+            candidate_features={
+                T_MINUS_2: {
+                    "entry": entry_grid,
+                    "duration": duration_grid,
+                    "location": location_grid,
+                }
+            },
+            n=len(location_grid),
         )
-
-    def _score_single_step(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-        step: int,
-        entry_grid: np.ndarray,
-        duration_grid: np.ndarray,
-        location_grid: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
-        n = len(location_grid)
-        batch = encode_candidates(
-            predictor.spec,
-            instance.known,
-            {step: {"entry": entry_grid, "duration": duration_grid, "location": location_grid}},
-            instance.day_of_week,
-            n,
-        )
-        confidence = query_output_confidence(predictor, batch, instance.observed_output)
-        scores = confidence * prior[location_grid]
-        ranked, ranked_scores = rank_locations(location_grid, scores, prior, self.tie_break)
-        recon = Reconstruction(step=step, ranked_locations=ranked, scores=ranked_scores)
-        return {step: recon}, n
 
     # ------------------------------------------------------------------
     # A3: both timesteps missing
     # ------------------------------------------------------------------
-    def _attack_missing_both(
-        self,
-        instance: AttackInstance,
-        predictor: NextLocationPredictor,
-        prior: np.ndarray,
-    ) -> Tuple[Dict[int, Reconstruction], int]:
-        spec = predictor.spec
+    def _plan_missing_both(self, instance: AttackInstance, spec: FeatureSpec) -> ProbePlan:
         locations = self._locations(spec)
         durations = np.arange(0, spec.duration_bins, self.a3_duration_stride)
         entries = np.arange(0, spec.entry_bins, self.a3_entry_stride)
@@ -214,25 +181,10 @@ class TimeBasedAttack(InversionAttack):
                 for e, d in zip(e2, d2)
             ]
         )
-        n = len(l1)
-        batch = encode_candidates(
-            spec,
-            instance.known,
-            {
+        return ProbePlan(
+            candidate_features={
                 T_MINUS_2: {"entry": e2, "duration": d2, "location": l2},
                 T_MINUS_1: {"entry": e1, "duration": d1, "location": l1},
             },
-            instance.day_of_week,
-            n,
-        )
-        confidence = query_output_confidence(predictor, batch, instance.observed_output)
-        joint = confidence * prior[l2] * prior[l1]
-        ranked_2, scores_2 = rank_locations(l2, joint, prior, self.tie_break)
-        ranked_1, scores_1 = rank_locations(l1, joint, prior, self.tie_break)
-        return (
-            {
-                T_MINUS_2: Reconstruction(T_MINUS_2, ranked_2, scores_2),
-                T_MINUS_1: Reconstruction(T_MINUS_1, ranked_1, scores_1),
-            },
-            n,
+            n=len(l1),
         )

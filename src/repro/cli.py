@@ -8,6 +8,8 @@ Commands mirror the reproduction workflow:
 * ``fleet``      — simulate fleet-scale serving: batched vs. looped queries,
   on one cloud or a sharded cluster (``--shards``);
 * ``scenarios``  — stress matrix: mobility regimes × chaos policies;
+* ``audit``      — privacy audit matrix: inversion adversaries attack the
+  live deployment through the serving stack, across defenses and regimes;
 * ``list``       — list the available experiment ids.
 
 Examples::
@@ -20,6 +22,9 @@ Examples::
     python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
         --policies none lossy_network churn --fast
     python -m repro scenarios --scale tiny --shards 2 --policies none shard_outage --fast
+    python -m repro audit --scale tiny --fast
+    python -m repro audit --scale tiny --fast --defense none temperature \\
+        --adversary A1 A2 --regimes campus commuter
     python -m repro list
 """
 
@@ -247,6 +252,55 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Run the privacy audit matrix and print it (DESIGN.md §10)."""
+    from repro.attacks import AdversaryClass
+    from repro.eval import AUDIT_ATTACKS, render_audit, run_audit_suite
+
+    if args.capacity < 0:
+        print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    probe_attack = AUDIT_ATTACKS[args.attack]()
+    unsupported = [
+        a for a in args.adversary if not probe_attack.supports(AdversaryClass(a))
+    ]
+    if unsupported:
+        print(
+            f"--attack {args.attack} cannot plan for adversary "
+            f"class(es) {' '.join(unsupported)} (multi-step window); "
+            "use the time_based attack for A3",
+            file=sys.stderr,
+        )
+        return 2
+    capacity = args.capacity if args.capacity > 0 else None
+    shards = f", {args.shards} shards" if args.shards > 1 else ""
+    print(
+        f"[audit] {len(args.regimes)} regimes x {len(args.defense)} defenses x "
+        f"{len(args.adversary)} adversaries at scale={args.scale} "
+        f"({'fast setup, ' if args.fast else ''}{args.attack} attack, "
+        f"chaos policy {args.policy}{shards})..."
+    )
+    report = run_audit_suite(
+        _SCALES[args.scale](),
+        regimes=args.regimes,
+        defenses=args.defense,
+        adversaries=args.adversary,
+        attack=args.attack,
+        policy=args.policy,
+        chaos_seed=args.chaos_seed,
+        queries_per_user=args.queries_per_user,
+        registry_capacity=capacity,
+        num_shards=args.shards,
+        placement=args.placement,
+        fast_setup=args.fast,
+    )
+    print(render_audit(report))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for name, (_, _, description) in EXPERIMENTS.items():
         print(f"{name:<10} {description}")
@@ -347,6 +401,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="cut training epochs so setup takes seconds (serving-only results)",
     )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    from repro.eval.audit import AUDIT_ATTACKS, AUDIT_DEFENSES
+
+    audit = sub.add_parser(
+        "audit",
+        help="privacy audit matrix: adversaries attack the live deployment "
+        "through the serving stack",
+    )
+    audit.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    audit.add_argument(
+        "--regimes", nargs="+", choices=sorted(REGIMES), default=["campus"],
+        help="mobility regimes for the audited population (default: campus)",
+    )
+    audit.add_argument(
+        "--defense", nargs="+", choices=sorted(AUDIT_DEFENSES),
+        default=["none", "temperature"],
+        help="defenses to audit under (default: none temperature)",
+    )
+    audit.add_argument(
+        "--adversary", nargs="+", choices=["A1", "A2", "A3"], default=["A1"],
+        help="adversary knowledge classes, paper Table I (default: A1)",
+    )
+    audit.add_argument(
+        "--attack", choices=sorted(AUDIT_ATTACKS), default="time_based",
+        help="enumeration attack to replay at fleet scale (default: time_based)",
+    )
+    audit.add_argument(
+        "--policy", choices=sorted(CHAOS_POLICIES), default="none",
+        help="chaos policy the audited deployment runs under (default: none)",
+    )
+    audit.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for every fault draw (default 0)",
+    )
+    audit.add_argument(
+        "--queries-per-user", type=int, default=2,
+        help="benign query ticks per onboarded user (default 2)",
+    )
+    audit.add_argument(
+        "--capacity", type=int, default=2,
+        help="cloud registry live-model capacity per shard; 0 means unbounded (default 2)",
+    )
+    audit.add_argument(
+        "--shards", type=int, default=1,
+        help="cloud shard count; >1 audits a placement-routed cluster (default 1)",
+    )
+    audit.add_argument(
+        "--placement", choices=sorted(PLACEMENT_POLICIES), default="hash",
+        help="user->shard placement policy when --shards > 1 (default hash)",
+    )
+    audit.add_argument(
+        "--fast", action="store_true",
+        help="cut training epochs so setup takes seconds (serving-only results)",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     lister = sub.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

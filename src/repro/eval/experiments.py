@@ -173,13 +173,14 @@ def run_mobility_degree_study(pipeline: Pipeline, k: int = 3) -> Dict[str, Scatt
         evaluation = run_attack_over_targets(
             targets, time_based_factory, DEFAULT_ADVERSARY, n
         )
+        # Covered users only: a user with zero attack instances has no
+        # defined attack accuracy, and a nan point would poison the
+        # correlation (evaluation.coverage reports the omission).
+        per_user = evaluation.per_user_accuracy(k)
         points: Dict[int, Tuple[float, float]] = {}
-        for uid, target in targets.items():
+        for uid, accuracy in per_user.items():
             dataset = pipeline.corpus.user_dataset(uid, level)
-            points[uid] = (
-                float(dataset.distinct_locations()),
-                percent(evaluation.per_user[uid].accuracy(k)),
-            )
+            points[uid] = (float(dataset.distinct_locations()), percent(accuracy))
         studies[level.value] = ScatterStudy(covariate_name="distinct locations", points=points)
     return studies
 
@@ -197,12 +198,13 @@ def run_predictability_study(pipeline: Pipeline, k: int = 3) -> Dict[str, Scatte
         evaluation = run_attack_over_targets(
             targets, time_based_factory, DEFAULT_ADVERSARY, n
         )
+        per_user = evaluation.per_user_accuracy(k)  # covered users only
         points: Dict[int, Tuple[float, float]] = {}
-        for uid, target in targets.items():
+        for uid, accuracy in per_user.items():
             artifact = pipeline.personal(uid, level)
             X, y = artifact.test.encode()
-            model_acc = percent(target.predictor.top_k_accuracy(X, y, 1))
-            points[uid] = (model_acc, percent(evaluation.per_user[uid].accuracy(k)))
+            model_acc = percent(targets[uid].predictor.top_k_accuracy(X, y, 1))
+            points[uid] = (model_acc, percent(accuracy))
         studies[level.value] = ScatterStudy(covariate_name="model accuracy", points=points)
     return studies
 

@@ -169,6 +169,51 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
     return "\n".join(lines)
 
 
+def render_audit(report: "AuditReport") -> str:
+    """Audit-matrix rendering (DESIGN.md §10).
+
+    One row per (regime, defense, adversary-class) cell.  ``leak@k`` is
+    the attack's hit rate against the live deployment (the paper's
+    Fig 2/3 y-axis, measured through the serving stack); ``benign`` is
+    the same cell's service accuracy, so the defense's privacy/utility
+    trade reads off one table.  The query and simulated-seconds columns
+    split the cell's books adversary-vs-benign.
+    """
+    headers = [
+        "regime", "defense", "adversary", "users", "inst",
+        *[f"leak@{k}" for k in report.ks],
+        "benign", "adv queries", "benign queries", "adv net s",
+    ]
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            [
+                cell.regime,
+                cell.defense,
+                cell.adversary,
+                f"{cell.covered_users}/{cell.num_users}",
+                cell.num_instances,
+                *[f"{cell.leakage[k]:.2%}" for k in report.ks],
+                f"{cell.benign_hit_rate:.2%}",
+                cell.adversary_queries,
+                cell.benign_queries,
+                f"{cell.adversary_network_seconds:.2f}",
+            ]
+        )
+    shards = f", {report.num_shards} shards" if report.num_shards > 1 else ""
+    chaos = (
+        f", chaos {report.chaos_policy} (seed {report.chaos_seed})"
+        if report.chaos_policy != "none"
+        else ""
+    )
+    lines = [
+        f"privacy audit @ {report.scale} ({report.attack} attack{shards}{chaos}): "
+        f"{len(report.cells)} cells",
+        format_table(headers, rows),
+    ]
+    return "\n".join(lines)
+
+
 def render_fleet(result: "FleetThroughputResult") -> str:
     """Fleet serving comparison rendering (DESIGN.md §7/§9)."""
     report = result.report
@@ -196,6 +241,13 @@ def render_fleet(result: "FleetThroughputResult") -> str:
         f"{report.registry.cold_loads} cold loads, "
         f"{report.registry.evictions} evictions",
     ]
+    if report.adversary_queries:
+        lines.append(
+            f"  adversary: {report.adversary_queries} probe queries in "
+            f"{report.adversary_batches} batches, "
+            f"{report.adversary_cloud_compute.macs / 1e6:.1f} cloud MMACs, "
+            f"{report.adversary_network_seconds:.2f}s network (DESIGN.md §10)"
+        )
     if result.num_shards > 1:
         lines.append("")
         lines.append("per-shard breakdown:")

@@ -80,22 +80,33 @@ def build_scenario_schedule(
     splits: Dict[int, Tuple[SequenceDataset, SequenceDataset]],
     queries_per_user: int = 4,
     k: int = 3,
+    temperature: Optional[float] = None,
+    include_update: bool = True,
 ) -> Tuple[FleetSchedule, Dict[int, int]]:
-    """The canonical scenario workload plus its ground truth.
+    """The canonical matrix-cell workload plus its ground truth.
 
     Devices onboard one per tick (alternating local/cloud deployment so
     both serving sides and the registry are exercised), then every device
     queries once per tick for ``queries_per_user`` ticks spaced 10 clock
     units apart — wide enough that offline windows (duration ~12) defer
-    events across ticks.  One incremental update lands mid-run.  Returns
+    events across ticks.  One incremental update lands mid-run (unless
+    ``include_update`` is off — the audit suite must keep model state
+    fixed so probe observations are fault-timing invariant, DESIGN.md
+    §10), and ``temperature`` optionally fixes every user's privacy
+    tuner (the audit suite's defense axis).  Returns
     ``(schedule, targets)`` where ``targets[seq]`` is the query event's
-    true next location, for scoring served responses.
+    true next location, for scoring served responses.  This is the one
+    definition of the cell workload shape — the scenario and audit
+    matrices both build through it.
     """
     schedule = FleetSchedule()
     targets: Dict[int, int] = {}
+    onboard_options = {} if temperature is None else {"privacy_temperature": temperature}
     for i, uid in enumerate(corpus.personal_ids):
         mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
-        schedule.onboard(float(i), uid, splits[uid][0], deployment=mode)
+        schedule.onboard(
+            float(i), uid, splits[uid][0], deployment=mode, **onboard_options
+        )
     # Query ticks start strictly after the last onboard, whatever the
     # population size — a query must never precede its user's onboard.
     tick = float(len(corpus.personal_ids)) + 10.0
@@ -103,20 +114,22 @@ def build_scenario_schedule(
         for uid in corpus.personal_ids:
             holdout = splits[uid][1]
             window = holdout.windows[j % len(holdout.windows)]
-            targets[len(schedule)] = window.target
+            targets[schedule.next_seq] = window.target
             schedule.query(tick, uid, window.history, k=k)
-        if queries_per_user > 1 and j == queries_per_user // 2 - 1:
+        if include_update and queries_per_user > 1 and j == queries_per_user // 2 - 1:
             first = corpus.personal_ids[0]
             schedule.update(tick + 5.0, first, splits[first][1])
         tick += 10.0
     return schedule, targets
 
 
-def _trained_pelican(scale: ExperimentScale, corpus: MobilityCorpus, fast_setup: bool):
+def trained_pelican(scale: ExperimentScale, corpus: MobilityCorpus, fast_setup: bool):
     """General training happens once per *suite*: regimes only reshape the
     personal users (contributors are bit-identical across regime corpora,
     see :func:`repro.data.regimes.generate_regime_corpus`) and chaos never
-    affects training, so every cell starts from a deepcopy of this state."""
+    affects training, so every cell starts from a deepcopy of this state.
+    Shared with the audit suite (:mod:`repro.eval.audit`), which crosses
+    the same regimes with defenses instead of chaos policies."""
     general, personalization = training_configs(scale, fast_setup)
     pelican = Pelican(
         corpus.spec(LEVEL),
@@ -131,6 +144,46 @@ def _trained_pelican(scale: ExperimentScale, corpus: MobilityCorpus, fast_setup:
     return pelican, training_report
 
 
+def build_cell_fleet(
+    pelican: Pelican,
+    training_report,
+    policy_name: str,
+    chaos_seed: int,
+    registry_capacity: Optional[int],
+    num_shards: int = 1,
+    placement: str = "hash",
+):
+    """A fresh chaos-wrapped serving stack for one matrix cell.
+
+    The single definition of cell construction — shared by the scenario
+    and audit suites — so the K=1-parity and training-attribution
+    invariants cannot drift between them: one shard gets a
+    :class:`~repro.pelican.chaos.ChaosFleet` over a deepcopy of the
+    suite-shared trained Pelican with the general-training cost booked
+    on its cloud book (exactly as ``Fleet.train_cloud`` would have);
+    more shards get a :class:`~repro.pelican.cluster.Cluster` with the
+    same cost at the cluster-level training book.
+    """
+    policy = chaos_policy(policy_name, seed=chaos_seed)
+    if num_shards == 1:
+        fleet = ChaosFleet(
+            copy.deepcopy(pelican),
+            policy=policy,
+            registry_capacity=registry_capacity,
+        )
+        fleet.report.cloud_compute += training_report
+        return fleet
+    fleet = Cluster.from_trained(
+        copy.deepcopy(pelican),
+        num_shards=num_shards,
+        placement=placement,
+        registry_capacity=registry_capacity,
+        policy=policy,
+    )
+    fleet.report.training = fleet.report.training + training_report
+    return fleet
+
+
 def _run_cell(
     pelican: Pelican,
     training_report,
@@ -142,26 +195,10 @@ def _run_cell(
     num_shards: int = 1,
     placement: str = "hash",
 ):
-    policy = chaos_policy(policy_name, seed=chaos_seed)
-    if num_shards == 1:
-        fleet = ChaosFleet(
-            copy.deepcopy(pelican),
-            policy=policy,
-            registry_capacity=registry_capacity,
-        )
-        # Attribute the regime-shared general training to this cell's cloud
-        # book, exactly as Fleet.train_cloud would have.
-        fleet.report.cloud_compute += training_report
-    else:
-        fleet = Cluster.from_trained(
-            copy.deepcopy(pelican),
-            num_shards=num_shards,
-            placement=placement,
-            registry_capacity=registry_capacity,
-            policy=policy,
-        )
-        # Same attribution, at the cluster's training book.
-        fleet.report.training = fleet.report.training + training_report
+    fleet = build_cell_fleet(
+        pelican, training_report, policy_name, chaos_seed, registry_capacity,
+        num_shards=num_shards, placement=placement,
+    )
     responses = fleet.run(schedule)
     hits = sum(
         1
@@ -210,7 +247,7 @@ def run_scenario_suite(
             corpus, splits, queries_per_user=queries_per_user, k=k
         )
         if pelican is None:
-            pelican, training_report = _trained_pelican(scale, corpus, fast_setup)
+            pelican, training_report = trained_pelican(scale, corpus, fast_setup)
 
         def run_one(policy_name: str) -> ScenarioResult:
             fleet, hit_rate, num_queries = _run_cell(

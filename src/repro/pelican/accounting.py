@@ -35,6 +35,12 @@ class FleetReport:
     ``wall_seconds`` inside the embedded reports is measured, so
     :meth:`signature` — the projection the determinism guarantee covers —
     excludes it.
+
+    The ``adversary_*`` fields are an *attribution overlay* for privacy
+    audits (DESIGN.md §10): probe traffic served through the dispatcher
+    is billed in the normal totals (the cloud really did that work) *and*
+    mirrored here, so benign cost is always ``total - adversary`` field
+    by field.  They stay zero outside audit runs.
     """
 
     cloud_profile: DeviceProfile
@@ -50,6 +56,13 @@ class FleetReport:
     queries: int = 0
     batches: int = 0
     registry: RegistryStats = field(default_factory=RegistryStats)
+    # -- adversary attribution overlay (subset of the totals above) ------
+    adversary_queries: int = 0
+    adversary_batches: int = 0
+    adversary_cloud_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    adversary_device_compute: ResourceReport = field(default_factory=ResourceReport.zero)
+    adversary_device_simulated_seconds: float = 0.0
+    adversary_network_seconds: float = 0.0
 
     @property
     def cloud_simulated_seconds(self) -> float:
@@ -86,6 +99,12 @@ class FleetReport:
             "registry_evictions": self.registry.evictions,
             "registry_load_seconds": self.registry.simulated_load_seconds,
             "eviction_log": tuple(self.registry.eviction_log),
+            "adversary_queries": self.adversary_queries,
+            "adversary_batches": self.adversary_batches,
+            "adversary_cloud_macs": self.adversary_cloud_compute.macs,
+            "adversary_device_macs": self.adversary_device_compute.macs,
+            "adversary_device_simulated_seconds": self.adversary_device_simulated_seconds,
+            "adversary_network_seconds": self.adversary_network_seconds,
         }
 
 
@@ -189,6 +208,37 @@ class ClusterReport:
     def mean_batch_size(self) -> float:
         return self.queries / self.batches if self.batches else 0.0
 
+    # -- adversary attribution overlay (summed per shard, DESIGN.md §10) -
+    @property
+    def adversary_queries(self) -> int:
+        return sum(r.adversary_queries for r in self.shard_reports)
+
+    @property
+    def adversary_batches(self) -> int:
+        return sum(r.adversary_batches for r in self.shard_reports)
+
+    @property
+    def adversary_cloud_compute(self) -> ResourceReport:
+        total = ResourceReport.zero()
+        for report in self.shard_reports:
+            total = total + report.adversary_cloud_compute
+        return total
+
+    @property
+    def adversary_device_compute(self) -> ResourceReport:
+        total = ResourceReport.zero()
+        for report in self.shard_reports:
+            total = total + report.adversary_device_compute
+        return total
+
+    @property
+    def adversary_device_simulated_seconds(self) -> float:
+        return sum(r.adversary_device_simulated_seconds for r in self.shard_reports)
+
+    @property
+    def adversary_network_seconds(self) -> float:
+        return sum(r.adversary_network_seconds for r in self.shard_reports)
+
     def signature(self) -> Dict[str, Any]:
         """Cluster totals (FleetReport keys) + per-shard breakdown.
 
@@ -214,6 +264,12 @@ class ClusterReport:
             "registry_evictions": registry.evictions,
             "registry_load_seconds": registry.simulated_load_seconds,
             "eviction_log": tuple(registry.eviction_log),
+            "adversary_queries": self.adversary_queries,
+            "adversary_batches": self.adversary_batches,
+            "adversary_cloud_macs": self.adversary_cloud_compute.macs,
+            "adversary_device_macs": self.adversary_device_compute.macs,
+            "adversary_device_simulated_seconds": self.adversary_device_simulated_seconds,
+            "adversary_network_seconds": self.adversary_network_seconds,
             "shards": tuple(r.signature() for r in self.shard_reports),
         }
 

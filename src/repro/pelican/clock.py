@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.data.dataset import SequenceDataset
 from repro.data.features import SessionFeatures
@@ -31,21 +31,35 @@ class EventKind(str, enum.Enum):
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One device asking for its user's next-location prediction."""
+    """One device asking for its user's next-location prediction.
+
+    ``history`` is normally a window of session features; the privacy
+    audit layer (DESIGN.md §10) instead passes a
+    :class:`~repro.pelican.dispatch.ProbePayload` carrying a whole batch
+    of adversarial black-box probes — same event, same clock, same
+    dispatcher, different kernel.
+    """
 
     user_id: int
-    history: Tuple[SessionFeatures, ...]
+    history: Any  # Tuple[SessionFeatures, ...] or a ProbePayload
     k: int = 3
 
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """The served answer, tagged with the originating event."""
+    """The served answer, tagged with the originating event.
+
+    Prediction queries fill ``top_k``; probe queries (DESIGN.md §10)
+    leave it empty and fill ``confidences`` — the observed-output
+    confidence per probe, which is what the honest-but-curious provider
+    gets to see.
+    """
 
     user_id: int
     time: float
     seq: int
     top_k: Tuple[Tuple[int, float], ...]
+    confidences: Optional[Tuple[float, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -122,6 +136,25 @@ class FleetSchedule:
         self._append(EventKind.QUERY, time, user_id, tuple(history), {"k": k})
         return self
 
+    def probe(self, time: float, user_id: int, payload: Any) -> "FleetSchedule":
+        """Schedule one audit probe batch (DESIGN.md §10).
+
+        ``payload`` is a :class:`~repro.pelican.dispatch.ProbePayload`
+        carrying many black-box probes against ``user_id``'s model.  The
+        event is an ordinary QUERY on the clock — it coalesces, defers
+        under chaos, and routes across shards exactly like prediction
+        traffic — with ``k = 0`` marking full-confidence release (the
+        provider observes every confidence vector it serves, so no top-k
+        truncation applies to its own probes).
+        """
+        self._append(EventKind.QUERY, time, user_id, payload, {"k": 0})
+        return self
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next builder call will assign."""
+        return self._next_seq
+
     def _append(
         self,
         kind: EventKind,
@@ -189,6 +222,7 @@ def replay_schedule(
                     time=event.time,
                     seq=event.seq,
                     top_k=response.top_k,
+                    confidences=response.confidences,
                 )
             )
         pending.clear()

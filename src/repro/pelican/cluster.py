@@ -58,7 +58,12 @@ from repro.pelican.clock import (
 )
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
-from repro.pelican.dispatch import dispatch_model_batch, group_requests
+from repro.pelican.dispatch import (
+    dispatch_model_batch,
+    group_requests,
+    probe_response,
+    serve_probe_group,
+)
 from repro.pelican.fleet import Fleet
 from repro.pelican.placement import HashPlacement, PlacementPolicy, make_placement
 from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
@@ -337,6 +342,7 @@ class Cluster:
                     time=response.time,
                     seq=i,
                     top_k=response.top_k,
+                    confidences=response.confidences,
                 )
         return [r for r in responses if r is not None]
 
@@ -499,14 +505,33 @@ class Cluster:
         survives failover.
         """
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
-        for (user_id, _, k), indices in group_requests(requests).items():
+        for (user_id, _, k, is_probe), indices in group_requests(requests).items():
             model = fallback.registry.get(user_id)
             histories = [requests[i].history for i in indices]
+            endpoint = home.pelican.users[user_id].endpoint
+            if is_probe:
+                # Audit probes fail over like any other cloud read
+                # (DESIGN.md §10): same durable-store cold load, same
+                # shared billing boundary, costs and adversary
+                # attribution booked on the shard that did the work.
+                results, num_probes = serve_probe_group(
+                    model,
+                    fallback.pelican.spec,
+                    histories,
+                    fallback.report,
+                    endpoint,
+                    channel=fallback.pelican.channel,
+                    label="failover-probe",
+                )
+                self.chaos.failover_queries += num_probes
+                for i, confidences in zip(indices, results):
+                    responses[i] = probe_response(user_id, i, confidences)
+                continue
             results, report = dispatch_model_batch(
                 model, fallback.pelican.spec, histories, k
             )
             fallback.report.cloud_compute += report
-            home.pelican.users[user_id].endpoint.record_query_exchange(
+            endpoint.record_query_exchange(
                 len(indices),
                 channel=fallback.pelican.channel,
                 label="failover-query",

@@ -1,13 +1,22 @@
-"""Batch-coalescing query dispatch, shard-agnostic (DESIGN.md §7).
+"""Batch-coalescing query dispatch, shard-agnostic (DESIGN.md §7/§10).
 
 Concurrent query requests are grouped per personal model — by
 ``(user, window length, k)`` in arrival order — and each group is
 answered through the graph-free fused inference path in *one* GEMM stack.
-The grouping and the two dispatch kernels live here so the single-cloud
+The grouping and the dispatch kernels live here so the single-cloud
 :class:`~repro.pelican.fleet.Fleet`, the N-shard
 :class:`~repro.pelican.cluster.Cluster`, and the cluster's failover path
 all serve through the identical code — which is what makes their answers
 bit-comparable.
+
+Two request species flow through the same grouping:
+
+* **prediction requests** — ordinary top-k queries, answered by
+  :func:`dispatch_model_batch`;
+* **probe batches** — bulk black-box confidence queries
+  (:class:`ProbePayload`), the privacy-audit adversary's traffic
+  (DESIGN.md §10), answered by :func:`dispatch_probe_batch`.  The group
+  key carries the species, so probe and prediction groups never mix.
 """
 
 from __future__ import annotations
@@ -15,15 +24,54 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.architecture import NextLocationModel
 from repro.models.predictor import NextLocationPredictor
 from repro.nn.profiler import flop_counter
-from repro.pelican.clock import QueryRequest
+from repro.pelican.clock import QueryRequest, QueryResponse
 from repro.pelican.cloud import ResourceReport
 
 #: Group key: requests sharing one can run as one fused dispatch.
-GroupKey = Tuple[int, int, int]  # (user_id, window length, k)
+#: ``(user_id, window length, k, is_probe)`` — the trailing flag keeps
+#: audit probe traffic in its own groups (DESIGN.md §10).
+GroupKey = Tuple[int, int, int, bool]
+
+
+class ProbePayload:
+    """Interface for bulk black-box probe batches (DESIGN.md §10).
+
+    A probe payload stands in for *many* adversarial confidence queries
+    against one user's model — the audit subsystem's unit of attack
+    traffic.  The serving layer treats it like any other query payload:
+    it rides a QUERY event on the event clock, is grouped by
+    :func:`group_requests` (probe groups never mix with prediction
+    groups), resolves its model through the same registry/placement/
+    failover machinery, and bills one query exchange per probe.  Only the
+    kernel differs: instead of top-k ranking, the dispatcher hands back
+    the confidence the provider observes for each probe
+    (:meth:`confidences`) — which is exactly the black-box surface the
+    paper's threat model grants an honest-but-curious provider.
+
+    The concrete implementation lives in the audit layer
+    (:class:`repro.attacks.fleet_adversary.ProbeBatch`); this base class
+    keeps the serving layer free of attack imports.
+    """
+
+    @property
+    def num_probes(self) -> int:
+        """How many individual black-box queries this payload carries."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Window length in timesteps — part of the dispatch group key."""
+        raise NotImplementedError
+
+    def confidences(self, predictor: NextLocationPredictor) -> np.ndarray:
+        """Observed-output confidence per probe, via ``predictor``'s
+        black-box query surface (one value per probe, shape ``(n,)``)."""
+        raise NotImplementedError
 
 
 def group_requests(
@@ -31,13 +79,20 @@ def group_requests(
 ) -> "OrderedDict[GroupKey, List[int]]":
     """Coalesce concurrent requests into per-model dispatch groups.
 
-    Returns ``{(user_id, len(history), k): [request indices]}`` in first-
-    arrival order — the deterministic grouping both serving layers batch
-    by.  Indices let callers scatter group results back to request order.
+    Returns ``{(user_id, len(history), k, is_probe): [request indices]}``
+    in first-arrival order — the deterministic grouping every serving
+    layer batches by.  Indices let callers scatter group results back to
+    request order.  Probe payloads (:class:`ProbePayload`) group
+    separately from prediction requests even at equal window length.
     """
     groups: "OrderedDict[GroupKey, List[int]]" = OrderedDict()
     for idx, request in enumerate(requests):
-        key = (request.user_id, len(request.history), request.k)
+        key = (
+            request.user_id,
+            len(request.history),
+            request.k,
+            isinstance(request.history, ProbePayload),
+        )
         groups.setdefault(key, []).append(idx)
     return groups
 
@@ -60,3 +115,83 @@ def dispatch_model_batch(
     with flop_counter() as counter:
         results = predictor.top_k_batch(histories, k)
     return results, ResourceReport.from_counter(counter)
+
+
+def dispatch_probe_batch(
+    model: NextLocationModel,
+    spec: FeatureSpec,
+    probes: Sequence[ProbePayload],
+) -> Tuple[List[np.ndarray], ResourceReport]:
+    """One probe group against one model, MACs measured (DESIGN.md §10).
+
+    Each payload's probes run through the model's graph-free fused
+    inference kernel in chunked batches (the payload controls encoding
+    and chunking, so fleet-served probes are bit-identical to the same
+    attack querying a bare predictor directly).  Like
+    :func:`dispatch_model_batch` the model is resolved by the caller —
+    registry live copy, failover cold load, or on-device — and the
+    measured compute comes back for per-side attribution.
+    """
+    predictor = NextLocationPredictor(model, spec)
+    with flop_counter() as counter:
+        results = [probe.confidences(predictor) for probe in probes]
+    return results, ResourceReport.from_counter(counter)
+
+
+def serve_probe_group(
+    model: NextLocationModel,
+    spec: FeatureSpec,
+    probes: Sequence[ProbePayload],
+    report,
+    endpoint,
+    channel=None,
+    label: str = "query",
+    profile=None,
+) -> Tuple[List[np.ndarray], int]:
+    """Serve one probe group and bill it — the single definition of the
+    probe accounting invariant (DESIGN.md §10).
+
+    Every cost lands in the normal totals of ``report`` (a
+    :class:`~repro.pelican.accounting.FleetReport`) *and* is mirrored
+    field-by-field into its ``adversary_*`` overlay, so
+    ``benign = total − adversary`` holds no matter which serving path
+    ran the group: home-shard cloud serving (default), cluster failover
+    (pass the fallback shard's ``channel`` and ``label``), or a locally
+    deployed model (pass the device ``profile``; compute and seconds are
+    then attributed device-side and no network is charged).  The query
+    exchange always flows through the endpoint's single accounting
+    boundary, so per-endpoint ledgers conserve.  Returns
+    ``(per-payload confidences, total probe count)``.
+    """
+    results, compute = dispatch_probe_batch(model, spec, probes)
+    num_probes = sum(probe.num_probes for probe in probes)
+    if profile is None:
+        report.cloud_compute += compute
+        report.adversary_cloud_compute += compute
+        seconds = endpoint.record_query_exchange(
+            num_probes, channel=channel, label=label
+        )
+        report.adversary_network_seconds += seconds
+    else:
+        report.device_compute += compute
+        report.adversary_device_compute += compute
+        seconds = profile.simulated_seconds(compute.macs)
+        report.device_simulated_seconds += seconds
+        report.adversary_device_simulated_seconds += seconds
+        endpoint.record_query_exchange(num_probes)
+    report.batches += 1
+    report.queries += num_probes
+    report.adversary_batches += 1
+    report.adversary_queries += num_probes
+    return results, num_probes
+
+
+def probe_response(user_id: int, seq: int, confidences: np.ndarray) -> QueryResponse:
+    """The served answer for one probe payload: confidences, no top-k."""
+    return QueryResponse(
+        user_id=user_id,
+        time=0.0,
+        seq=seq,
+        top_k=(),
+        confidences=tuple(float(c) for c in confidences),
+    )

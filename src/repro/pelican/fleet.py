@@ -50,7 +50,13 @@ from repro.pelican.clock import (
 from repro.pelican.cloud import ResourceReport
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
-from repro.pelican.dispatch import dispatch_model_batch, group_requests
+from repro.pelican.dispatch import (
+    ProbePayload,
+    dispatch_model_batch,
+    group_requests,
+    probe_response,
+    serve_probe_group,
+)
 from repro.pelican.registry import ModelRegistry
 from repro.pelican.system import OnboardedUser, Pelican
 from repro.models.personalize import PersonalizationMethod
@@ -189,18 +195,29 @@ class Fleet:
         request order and match :meth:`serve_looped` on the same requests
         (identical rankings; confidences to within float round-off — see
         DESIGN.md §7).
+
+        Audit probe batches (:class:`~repro.pelican.dispatch.ProbePayload`,
+        DESIGN.md §10) ride the same path in their own groups: same
+        registry resolution, same accounting boundaries, but answered
+        with per-probe confidences and additionally mirrored into the
+        report's adversary attribution overlay.
         """
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
-        for (user_id, _, k), indices in group_requests(requests).items():
+        for (user_id, _, k, is_probe), indices in group_requests(requests).items():
             user = self.pelican.users[user_id]
             histories = [requests[i].history for i in indices]
-            results = self._dispatch(user, user_id, histories, k)
-            for i, top in zip(indices, results):
-                responses[i] = QueryResponse(
-                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
-                )
-            self.report.batches += 1
-            self.report.queries += len(indices)
+            if is_probe:
+                results = self._dispatch_probes(user, user_id, histories)
+                for i, confidences in zip(indices, results):
+                    responses[i] = probe_response(user_id, i, confidences)
+            else:
+                results = self._dispatch(user, user_id, histories, k)
+                for i, top in zip(indices, results):
+                    responses[i] = QueryResponse(
+                        user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
+                    )
+                self.report.batches += 1
+                self.report.queries += len(indices)
         self._sync_network()
         return [r for r in responses if r is not None]
 
@@ -213,7 +230,20 @@ class Fleet:
         registry, the fleet report, endpoint stats, and channel traffic
         are all left exactly as they were, so running a parity check (or
         the benchmark) never perturbs the books of the batched path.
+
+        It specifies *prediction* serving only: audit probe batches have
+        their own per-probe reference path
+        (:func:`repro.attacks.fleet_adversary.run_fleet_audit_looped`),
+        so they are rejected here rather than failing opaquely inside
+        feature encoding.
         """
+        for request in requests:
+            if isinstance(request.history, ProbePayload):
+                raise TypeError(
+                    "serve_looped serves prediction requests only; audit "
+                    "probe batches replay through run_fleet_audit_looped "
+                    "(DESIGN.md §10)"
+                )
         channel_state = self.pelican.channel.checkpoint()
         stats_state = {
             uid: (
@@ -267,6 +297,40 @@ class Fleet:
         self.report.device_compute += report
         profile = self._profiles.get(user_id, self.device_profile)
         self.report.device_simulated_seconds += profile.simulated_seconds(report.macs)
+        return results
+
+    def _dispatch_probes(
+        self,
+        user: OnboardedUser,
+        user_id: int,
+        probes: Sequence[ProbePayload],
+    ) -> List:
+        """One audit probe group against the right side's model.
+
+        Mirrors :meth:`_dispatch` — cloud probes resolve the model
+        through the registry, local probes run on the device — with all
+        billing (totals + the ``adversary_*`` attribution overlay,
+        DESIGN.md §10) in the shared
+        :func:`~repro.pelican.dispatch.serve_probe_group` boundary, the
+        same one the cluster's failover path bills through.
+        """
+        if user.endpoint.mode == DeploymentMode.CLOUD:
+            results, _ = serve_probe_group(
+                self.registry.get(user_id),
+                self.pelican.spec,
+                probes,
+                self.report,
+                user.endpoint,
+            )
+            return results
+        results, _ = serve_probe_group(
+            user.endpoint.predictor.model,
+            self.pelican.spec,
+            probes,
+            self.report,
+            user.endpoint,
+            profile=self._profiles.get(user_id, self.device_profile),
+        )
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Tier-1 slice of the docs health checks (the fast, static half).
+
+The CI ``docs`` job additionally executes every runnable README command
+(``tools/docs_check.py --run-blocks``); here we keep the cheap
+guarantees in the local suite: no dangling ``§N`` references, no dead
+local links, and the command extractor actually finds the quickstart
+lines (so the CI job can never silently check nothing).
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_docs_check():
+    spec = importlib.util.spec_from_file_location(
+        "docs_check", REPO_ROOT / "tools" / "docs_check.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+docs_check = _load_docs_check()
+
+
+def test_no_dangling_section_references():
+    assert docs_check.check_section_references() == []
+
+
+def test_no_dead_local_links():
+    assert docs_check.check_local_links() == []
+
+
+def test_design_defines_all_ten_sections():
+    assert docs_check.design_sections() == set(range(1, 11))
+
+
+def test_readme_commands_extracted():
+    commands = docs_check.extract_runnable_commands(REPO_ROOT / "README.md")
+    assert any("examples/quickstart.py" in c for c in commands)
+    assert any("-m repro audit" in c for c in commands)
+    assert any("examples/privacy_audit.py" in c for c in commands)
+    # Slow paths must never leak into the CI smoke.
+    assert not any("pytest" in c or "--scale small" in c for c in commands)
+    # No unstripped inline comments (they would break argv splitting).
+    assert not any("#" in c for c in commands)

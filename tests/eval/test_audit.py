@@ -1,0 +1,134 @@
+"""The audit-suite runner (``repro.eval.audit``, DESIGN.md §10)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentScale, render_audit, run_audit_suite
+from repro.eval.audit import AUDIT_DEFENSES
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One canonical suite at the tiny scale, shared across tests."""
+    return run_audit_suite(
+        ExperimentScale.tiny(),
+        regimes=("campus",),
+        defenses=("none", "temperature"),
+        adversaries=("A1",),
+        queries_per_user=1,
+        max_instances=3,
+    )
+
+
+class TestAuditSuite:
+    def test_matrix_covers_requested_cells(self, tiny_report):
+        assert len(tiny_report.cells) == 2
+        for defense in ("none", "temperature"):
+            cell = tiny_report.cell("campus", defense, "A1")
+            assert cell.num_users == 2
+            assert cell.covered_users == 2
+            assert cell.num_instances == 6  # 2 users x 3 instances
+            assert cell.adversary_queries > 0
+            assert cell.benign_queries == 2  # 2 users x 1 tick
+            assert set(cell.leakage) == {1, 2, 3}
+
+    def test_leakage_bounded_and_monotone_in_k(self, tiny_report):
+        for cell in tiny_report.cells:
+            values = [cell.leakage[k] for k in sorted(cell.leakage)]
+            assert all(0.0 <= v <= 1.0 for v in values)
+            assert values == sorted(values)  # hit@k grows with k
+
+    def test_temperature_defense_never_increases_leakage(self, tiny_report):
+        undefended = tiny_report.cell("campus", "none", "A1").leakage
+        defended = tiny_report.cell("campus", "temperature", "A1").leakage
+        for k in undefended:
+            assert defended[k] <= undefended[k]
+
+    def test_same_seed_signature_bit_identical(self, tiny_report):
+        rerun = run_audit_suite(
+            ExperimentScale.tiny(),
+            regimes=("campus",),
+            defenses=("none", "temperature"),
+            adversaries=("A1",),
+            queries_per_user=1,
+            max_instances=3,
+        )
+        assert rerun.signature() == tiny_report.signature()
+
+    def test_adversary_books_are_subset_of_totals(self, tiny_report):
+        for cell in tiny_report.cells:
+            signature = cell.signature
+            assert 0 < signature["adversary_queries"] <= signature["queries"]
+            assert signature["adversary_cloud_macs"] <= signature["cloud_macs"]
+            assert signature["adversary_device_macs"] <= signature["device_macs"]
+            assert (
+                signature["adversary_network_seconds"] <= signature["network_seconds"]
+            )
+            # Benign = total - adversary, field by field.
+            assert (
+                cell.benign_queries
+                == signature["queries"] - signature["adversary_queries"]
+            )
+
+    def test_chaos_policy_moves_books_not_leakage(self, tiny_report):
+        chaotic = run_audit_suite(
+            ExperimentScale.tiny(),
+            regimes=("campus",),
+            defenses=("none", "temperature"),
+            adversaries=("A1",),
+            queries_per_user=1,
+            max_instances=3,
+            policy="lossy_network",
+            chaos_seed=7,
+        )
+        for cell, clean in zip(chaotic.cells, tiny_report.cells):
+            assert cell.leakage == clean.leakage
+            assert cell.signature["chaos_transfer_retries"] > 0
+
+    def test_cluster_audit_matches_single_cloud_leakage(self, tiny_report):
+        sharded = run_audit_suite(
+            ExperimentScale.tiny(),
+            regimes=("campus",),
+            defenses=("none", "temperature"),
+            adversaries=("A1",),
+            queries_per_user=1,
+            max_instances=3,
+            num_shards=2,
+        )
+        for cell, clean in zip(sharded.cells, tiny_report.cells):
+            assert cell.leakage == clean.leakage
+            assert cell.num_shards == 2
+            assert cell.adversary_queries == clean.adversary_queries
+
+    def test_unknown_attack_and_defense_rejected(self):
+        with pytest.raises(KeyError, match="unknown audit attack"):
+            run_audit_suite(ExperimentScale.tiny(), attack="gradient")
+        with pytest.raises(KeyError, match="unknown defenses"):
+            run_audit_suite(ExperimentScale.tiny(), defenses=("mirror",))
+
+    def test_incompatible_matrix_rejected_before_training(self):
+        # Must fail in milliseconds (validation), not after corpus
+        # generation and training.
+        import time
+
+        start = time.perf_counter()
+        with pytest.raises(ValueError, match="cannot plan"):
+            run_audit_suite(
+                ExperimentScale.tiny(), attack="brute_force", adversaries=("A1", "A3")
+            )
+        assert time.perf_counter() - start < 1.0
+
+    def test_every_defense_preset_is_well_formed(self):
+        for name, defense in AUDIT_DEFENSES.items():
+            assert defense.name == name
+            assert defense.temperature > 0
+
+
+class TestRenderAudit:
+    def test_render_contains_cells_and_split(self, tiny_report):
+        out = render_audit(tiny_report)
+        assert "privacy audit @ tiny" in out
+        assert "temperature" in out
+        assert "leak@1" in out and "leak@3" in out
+        assert "adv queries" in out
+        assert "2 cells" in out

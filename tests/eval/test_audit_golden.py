@@ -1,0 +1,64 @@
+"""Golden-signature regression test for one canonical audit run.
+
+Same pattern as ``tests/pelican/test_golden_signature.py``: replay one
+small canonical audit suite and compare :meth:`AuditReport.signature`
+*exactly* against the committed JSON.  Every field is deterministic —
+leakage rates are functions of seeded models and tie-broken rankings,
+accounting is fixed-order arithmetic over integer MAC counts — so any
+drift means the audit measurement changed, intended or not.
+
+If a change is intentional (e.g. probe traffic now carries a new cost),
+regenerate the golden and commit it together with the change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src pytest tests/eval/test_audit_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.eval import ExperimentScale, run_audit_suite
+
+GOLDEN_PATH = Path(__file__).parent / "golden_audit_signature.json"
+
+
+def compute_golden():
+    report = run_audit_suite(
+        ExperimentScale.tiny(),
+        regimes=("campus",),
+        defenses=("none", "temperature"),
+        adversaries=("A1",),
+        queries_per_user=1,
+        max_instances=3,
+    )
+    # tuples -> lists, exact floats — byte-comparable after a JSON trip.
+    return json.loads(json.dumps(report.signature()))
+
+
+class TestGoldenAuditSignature:
+    def test_signature_matches_committed_golden(self):
+        current = compute_golden()
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert set(current) == set(golden), "signature fields changed"
+        assert set(current["cells"]) == set(golden["cells"]), "audit cells changed"
+        for cell_key, cell in golden["cells"].items():
+            for field in cell:
+                assert current["cells"][cell_key][field] == cell[field], (
+                    f"audit drift in {cell_key}/{field!r}: "
+                    f"golden {cell[field]!r} != current "
+                    f"{current['cells'][cell_key][field]!r} "
+                    "(if intentional, regenerate with REPRO_UPDATE_GOLDEN=1)"
+                )
+
+    def test_golden_run_exercises_the_audit_path(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for cell in golden["cells"].values():
+            assert cell["adversary_queries"] > 0
+            assert cell["benign_queries"] > 0
+            assert cell["signature"]["adversary_cloud_macs"] > 0
+            assert cell["signature"]["adversary_device_macs"] > 0
+        undefended = golden["cells"]["campus/none/A1"]["leakage"]
+        defended = golden["cells"]["campus/temperature/A1"]["leakage"]
+        assert all(defended[k] <= undefended[k] for k in undefended)

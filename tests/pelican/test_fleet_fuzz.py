@@ -15,7 +15,12 @@ fleet layer advertises:
 * **same-seed determinism** — identical runs produce bit-identical
   responses and :meth:`FleetReport.signature`;
 * **null-chaos identity** — the chaos layer with zero-probability faults
-  is indistinguishable from no chaos layer.
+  is indistinguishable from no chaos layer;
+* **audit-traffic conservation** (DESIGN.md §10) — schedules carrying
+  interleaved adversary probe batches bill every probe exactly once:
+  per-endpoint ledgers move by benign + probe counts, the fleet totals
+  match, and the adversary attribution overlay equals exactly the probe
+  rows.
 
 The schedule count is env-tunable so CI can smoke a subset::
 
@@ -28,6 +33,13 @@ import os
 import numpy as np
 import pytest
 
+from repro.attacks import (
+    AdversaryClass,
+    AuditAdversary,
+    AuditTarget,
+    TimeBasedAttack,
+    true_prior,
+)
 from repro.data import SpatialLevel
 from repro.models import GeneralModelConfig, PersonalizationConfig
 from repro.pelican import (
@@ -205,6 +217,92 @@ def test_generated_schedule_invariants(base, tiny_corpus, seed):
     rerun_fleet = copy.deepcopy(fleet0)
     rerun = rerun_fleet.run(schedule)
     assert rerun == responses  # frozen dataclasses: bit-exact confidences
+    assert rerun_fleet.report.signature() == fleet.report.signature()
+
+
+@pytest.fixture(scope="module")
+def probe_pool(base, tiny_corpus):
+    """Pre-planned probe batches per user, reused across fuzz schedules."""
+    _, fleet, splits = base
+    adversary = AuditAdversary(
+        TimeBasedAttack(), AdversaryClass.A1, max_instances=2
+    )
+    spec = fleet.pelican.spec
+    return {
+        uid: adversary.probes_for(
+            spec,
+            AuditTarget(
+                user_id=uid,
+                attack_windows=splits[uid][1],
+                prior=true_prior(splits[uid][0]),
+            ),
+        )
+        for uid in tiny_corpus.personal_ids
+    }
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 5))
+def test_generated_audit_schedule_invariants(base, tiny_corpus, probe_pool, seed):
+    """Audit probe traffic interleaved with benign events conserves every
+    per-endpoint and fleet-level query ledger (DESIGN.md §10)."""
+    _, fleet0, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, 5000 + seed)
+    rng = np.random.default_rng((13, seed))
+    ticks = sorted({e.time for e in schedule.ordered()}) or [0.0]
+    probe_rows = {uid: 0 for uid in tiny_corpus.personal_ids}
+    num_probe_events = 0
+    for uid, batches in probe_pool.items():
+        for batch in batches:
+            if rng.random() < 0.75:
+                schedule.probe(float(rng.choice(ticks)), uid, batch)
+                probe_rows[uid] += batch.num_probes
+                num_probe_events += 1
+    events = schedule.ordered()
+    num_queries = sum(
+        1
+        for e in events
+        if e.kind is EventKind.QUERY and isinstance(e.payload, tuple)
+    )
+    total_probe_rows = sum(probe_rows.values())
+
+    fleet = copy.deepcopy(fleet0)
+    responses = fleet.run(schedule)
+    assert len(responses) == num_queries + num_probe_events
+    # Probe responses carry confidences (one per probe row), benign ones
+    # carry rankings — never both.
+    served_rows = sum(
+        len(r.confidences) for r in responses if r.confidences is not None
+    )
+    assert served_rows == total_probe_rows
+    assert all(r.top_k for r in responses if r.confidences is None)
+
+    # Fleet totals: every benign query and every probe row exactly once;
+    # the adversary overlay holds exactly the probe rows.
+    assert (
+        fleet.report.queries - fleet0.report.queries
+        == num_queries + total_probe_rows
+    )
+    assert (
+        fleet.report.adversary_queries - fleet0.report.adversary_queries
+        == total_probe_rows
+    )
+    assert_channel_conserved(fleet.pelican.channel)
+
+    # Per-endpoint conservation, probes included.
+    for uid, user in fleet.pelican.users.items():
+        issued = sum(
+            1
+            for e in events
+            if e.kind is EventKind.QUERY
+            and e.user_id == uid
+            and isinstance(e.payload, tuple)
+        )
+        baseline = fleet0.pelican.users[uid].endpoint.stats.queries
+        assert user.endpoint.stats.queries - baseline == issued + probe_rows[uid]
+
+    # Same seed, same schedule => bit-identical run (confidences included).
+    rerun_fleet = copy.deepcopy(fleet0)
+    assert rerun_fleet.run(schedule) == responses
     assert rerun_fleet.report.signature() == fleet.report.signature()
 
 

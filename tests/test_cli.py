@@ -52,6 +52,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenarios", "--policies", "meteor_strike"])
 
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.scale == "tiny"
+        assert args.regimes == ["campus"]
+        assert args.defense == ["none", "temperature"]
+        assert args.adversary == ["A1"]
+        assert args.attack == "time_based"
+        assert args.policy == "none"
+        assert args.shards == 1
+        assert not args.fast
+
+    def test_audit_rejects_unknown_defense_adversary_attack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--defense", "mirror"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--adversary", "A9"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--attack", "gradient"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -142,6 +161,44 @@ class TestCommands:
     def test_scenarios_capacity_negative_rejected(self, capsys):
         assert main(["scenarios", "--fast", "--capacity", "-1"]) == 2
         assert "--capacity" in capsys.readouterr().err
+
+    def test_audit_fast_run(self, capsys):
+        code = main(["audit", "--fast", "--queries-per-user", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "privacy audit @ tiny" in out
+        assert "temperature" in out
+        assert "leak@1" in out
+        assert "adv queries" in out
+
+    def test_audit_sharded_chaos_run(self, capsys):
+        code = main(
+            [
+                "audit", "--fast",
+                "--defense", "none",
+                "--queries-per-user", "1",
+                "--shards", "2",
+                "--policy", "shard_outage",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 shards" in out
+        assert "shard_outage" in out
+
+    def test_audit_capacity_negative_rejected(self, capsys):
+        assert main(["audit", "--fast", "--capacity", "-1"]) == 2
+        assert "--capacity" in capsys.readouterr().err
+
+    def test_audit_shards_zero_rejected(self, capsys):
+        assert main(["audit", "--fast", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_audit_incompatible_attack_adversary_rejected(self, capsys):
+        # Clean exit-2 validation, not a mid-run traceback.
+        code = main(["audit", "--fast", "--attack", "brute_force", "--adversary", "A3"])
+        assert code == 2
+        assert "cannot plan" in capsys.readouterr().err
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "bogus"]) == 2
