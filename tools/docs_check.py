@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Docs health checks: §-references, local links, runnable code blocks.
+
+Keeps the documentation satellites permanently green (the CI ``docs``
+job runs this on every push):
+
+* **§-reference check** — every arabic ``§N`` citation in the sources,
+  tests, benchmarks, examples, and markdown docs must resolve to a
+  ``## §N`` section header in ``DESIGN.md``.  (Roman-numeral citations
+  like ``§III-B2`` refer to the *paper* and are ignored.)
+* **link check** — every relative markdown link target must exist.
+* **code-block smoke** (``--run-blocks``) — extract the fenced ``bash``
+  blocks from ``README.md`` and execute the runnable command lines (the
+  quickstart examples and every fast CLI invocation) so the examples in
+  the docs are verified *as written*.
+
+Usage::
+
+    python tools/docs_check.py               # static checks (fast)
+    python tools/docs_check.py --run-blocks  # + execute README commands
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DESIGN = REPO_ROOT / "DESIGN.md"
+
+#: Files scanned for DESIGN §-references and markdown links.
+MARKDOWN_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
+SOURCE_DIRS = ["src", "tests", "benchmarks", "examples", "tools"]
+
+#: Runnable README lines: repo CLI / example invocations.  Slow paths —
+#: the test suite, benchmarks, non-tiny scales — are excluded; the point
+#: is that every *quoted quickstart command* works as written.
+RUNNABLE = re.compile(r"^PYTHONPATH=src python (-m repro\b|examples/)")
+EXCLUDE = re.compile(r"-m pytest|run_benchmarks|--scale (small|paper)")
+
+
+def design_sections() -> set:
+    """Arabic section numbers DESIGN.md actually defines."""
+    return {
+        int(number)
+        for number in re.findall(r"^## §(\d+)", DESIGN.read_text(), re.MULTILINE)
+    }
+
+
+def iter_scanned_files():
+    for name in MARKDOWN_DOCS:
+        yield REPO_ROOT / name
+    for directory in SOURCE_DIRS:
+        root = REPO_ROOT / directory
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" not in path.parts:
+                yield path
+
+
+def check_section_references() -> list:
+    """Dangling ``§N`` citations (arabic = DESIGN reference by convention)."""
+    sections = design_sections()
+    errors = []
+    for path in iter_scanned_files():
+        text = path.read_text()
+        for line_number, line in enumerate(text.splitlines(), 1):
+            for match in re.finditer(r"§(\d+)\b", line):
+                number = int(match.group(1))
+                if number not in sections:
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                        f"dangling reference §{number} "
+                        f"(DESIGN.md defines {sorted(sections)})"
+                    )
+    return errors
+
+
+def check_local_links() -> list:
+    """Relative markdown link targets that do not exist."""
+    errors = []
+    for name in MARKDOWN_DOCS:
+        path = REPO_ROOT / name
+        for line_number, line in enumerate(path.read_text().splitlines(), 1):
+            for match in re.finditer(r"\[[^\]]+\]\(([^)]+)\)", line):
+                target = match.group(1)
+                if "://" in target or target.startswith("#") or target.startswith("mailto:"):
+                    continue
+                resolved = (path.parent / target.split("#")[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{name}:{line_number}: dead local link {target!r}"
+                    )
+    return errors
+
+
+def extract_runnable_commands(markdown: pathlib.Path) -> list:
+    """Runnable command lines from the fenced bash blocks, continuations
+    joined."""
+    commands = []
+    in_bash = False
+    pending = ""
+    for line in markdown.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_bash = stripped == "```bash"
+            pending = ""
+            continue
+        if not in_bash:
+            continue
+        if pending:
+            pending += " " + stripped.rstrip("\\").strip()
+        elif stripped.endswith("\\"):
+            pending = stripped.rstrip("\\").strip()
+        else:
+            pending = stripped
+        if stripped.endswith("\\"):
+            continue
+        command, pending = pending, ""
+        command = command.split(" #")[0].strip()  # drop inline comments
+        if command and RUNNABLE.search(command) and not EXCLUDE.search(command):
+            commands.append(command)
+    return commands
+
+
+def run_blocks() -> list:
+    """Execute every runnable README command; return failures."""
+    errors = []
+    commands = extract_runnable_commands(REPO_ROOT / "README.md")
+    if not commands:
+        return ["README.md: no runnable commands found (extraction broken?)"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for command in commands:
+        # The PYTHONPATH prefix is baked into env; strip it off the line.
+        argv = command.split()[1:]
+        print(f"$ {command}", flush=True)
+        result = subprocess.run(argv, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            errors.append(f"README.md command failed ({result.returncode}): {command}")
+    # Artifacts some quickstart commands write in the working tree.
+    corpus = REPO_ROOT / "corpus.npz"
+    if corpus.exists():
+        corpus.unlink()
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--run-blocks",
+        action="store_true",
+        help="also execute the runnable README command lines (slow)",
+    )
+    args = parser.parse_args()
+
+    errors = check_section_references() + check_local_links()
+    if args.run_blocks and not errors:
+        errors += run_blocks()
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\ndocs check FAILED: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    scope = "static + code blocks" if args.run_blocks else "static"
+    print(f"docs check OK ({scope})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
