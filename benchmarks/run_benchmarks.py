@@ -34,14 +34,16 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 # The quick suite: nn micro-benchmarks, the fleet serving comparison, the
 # cluster shard-scaling comparison, the regimes x chaos scenario matrix,
-# and the privacy-audit comparison (all run in seconds; the
-# experiment-regeneration targets need --full).
+# the privacy-audit comparison, and the resilience clean-path overhead
+# gate (all run in seconds; the experiment-regeneration targets need
+# --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
     str(BENCH_DIR / "test_cluster_scaling.py"),
     str(BENCH_DIR / "test_scenario_matrix.py"),
     str(BENCH_DIR / "test_audit_matrix.py"),
+    str(BENCH_DIR / "test_resilience_overhead.py"),
 ]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 OUTPUT_PATH = BENCH_DIR / "BENCH_latest.json"

@@ -1,0 +1,127 @@
+"""Resilience clean-path overhead benchmark (DESIGN.md §11).
+
+The resilience layer's guard clauses run on every serve even when nothing
+fails, so the layer must be close to free when no fault fires.  This
+benchmark stands up one trained-and-onboarded deployment at the ``small``
+scale and serves the identical concurrent workload through:
+
+* a bare :class:`~repro.pelican.fleet.Fleet` (no resilience argument);
+* the same fleet under the ``default`` :class:`ResiliencePolicy` — full
+  budgets, breakers, and deadline machinery attached, zero faults to
+  handle.
+
+Two properties are pinned:
+
+* **answers are unchanged** — with no chaos there is nothing to retry,
+  shed, or degrade, so both paths return bit-identical responses;
+* **clean-path overhead ≤ 5%** — the acceptance bar from the resilience
+  PR: attaching the policy may not slow fault-free serving by more than
+  5% (relaxed on shared CI runners where timer noise dominates).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import pytest
+
+from repro.data.corpus import generate_corpus
+from repro.data.features import SpatialLevel
+from repro.eval import ExperimentScale
+from repro.eval.fleet import training_configs
+from repro.pelican import (
+    DeploymentMode,
+    Fleet,
+    Pelican,
+    PelicanConfig,
+    QueryRequest,
+    resilience_policy,
+)
+
+LEVEL = SpatialLevel.BUILDING
+QUERIES_PER_USER = 32
+# The PR's acceptance bar; CI runners are too noisy to pin 5%.
+MAX_OVERHEAD = 1.5 if os.environ.get("CI") else 1.05
+BEST_OF_ROUNDS = 10
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """(bare fleet, resilient fleet, requests) over one shared training."""
+    scale = ExperimentScale.small()
+    general, personalization = training_configs(scale, fast_setup=True)
+    corpus = generate_corpus(scale.corpus)
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    pelican.initial_training(train)
+    holdouts = {}
+    for i, uid in enumerate(corpus.personal_ids):
+        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        pelican.onboard_user(uid, user_train, deployment=mode)
+        holdouts[uid] = holdout
+    requests = [
+        QueryRequest(
+            user_id=uid,
+            history=tuple(holdout.windows[j % len(holdout.windows)].history),
+            k=3,
+        )
+        for j in range(QUERIES_PER_USER)
+        for uid, holdout in holdouts.items()
+    ]
+    bare = Fleet(copy.deepcopy(pelican))
+    resilient = Fleet(
+        copy.deepcopy(pelican),
+        resilience=resilience_policy("default", seed=scale.corpus.seed),
+    )
+    return bare, resilient, requests
+
+
+def test_fleet_serve_bare(benchmark, deployment):
+    bare, _, requests = deployment
+    benchmark(bare.serve, requests)
+
+
+def test_fleet_serve_resilient(benchmark, deployment):
+    _, resilient, requests = deployment
+    benchmark(resilient.serve, requests)
+
+
+def test_resilience_clean_path_overhead(deployment):
+    """Acceptance: identical answers, ≤5% clean-path slowdown."""
+    bare, resilient, requests = deployment
+
+    def timed(fleet):
+        start = time.perf_counter()
+        result = fleet.serve(requests)
+        return time.perf_counter() - start, result
+
+    # Interleave the rounds so machine-load drift hits both paths alike.
+    bare_seconds = resilient_seconds = float("inf")
+    bare_responses = resilient_responses = None
+    for _ in range(BEST_OF_ROUNDS):
+        seconds, bare_responses = timed(bare)
+        bare_seconds = min(bare_seconds, seconds)
+        seconds, resilient_responses = timed(resilient)
+        resilient_seconds = min(resilient_seconds, seconds)
+    assert resilient_responses == bare_responses
+    # No fault fired, so the overlay stayed at rest.
+    stats = resilient.resilience_stats
+    assert stats.retries_spent == 0
+    assert stats.shed_queries == 0
+    assert stats.degraded_queries == 0
+    overhead = resilient_seconds / bare_seconds
+    assert overhead <= MAX_OVERHEAD, (
+        f"resilient clean-path serve is {overhead:.3f}x the bare serve "
+        f"({resilient_seconds * 1e3:.2f}ms vs {bare_seconds * 1e3:.2f}ms) — "
+        f"the guard clauses are no longer near-free"
+    )

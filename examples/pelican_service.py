@@ -20,23 +20,31 @@ fleet serving layer (DESIGN.md §7):
 5. periodic model updates as new weeks of data arrive;
 
 plus the fleet-level overhead accounting: MACs and simulated seconds
-attributed per side, network traffic, and registry cache behaviour.
+attributed per side, network traffic, and registry cache behaviour —
+and, as a finale, the same deployment sharded and hit with a total
+blackout under a resilience policy (DESIGN.md §11), printing the
+degraded-vs-fresh answer breakdown.
 
 Run:  python examples/pelican_service.py
 """
 
+import copy
 import time
 
 from repro.data import CorpusConfig, SpatialLevel, generate_corpus
 from repro.eval import responses_match
 from repro.models import GeneralModelConfig, PersonalizationConfig
 from repro.pelican import (
+    Cluster,
     DeploymentMode,
     Fleet,
     FleetSchedule,
     Pelican,
     PelicanConfig,
     QueryRequest,
+    chaos_policy,
+    measure_availability,
+    resilience_policy,
 )
 
 
@@ -147,6 +155,63 @@ def main() -> None:
     print(
         f"registry: {fr.registry.hits} hits, {fr.registry.cold_loads} cold loads, "
         f"{fr.registry.evictions} evictions (capacity {fleet.registry.capacity})"
+    )
+
+    print("\n=== Phase 5: blackout with graceful degradation (DESIGN.md §11) ===")
+    # The same deployment, sharded in two, under a total-outage chaos
+    # preset — with the default resilience policy the cluster answers
+    # through the degradation ladder instead of waiting out the outage.
+    cluster = Cluster.from_trained(
+        copy.deepcopy(pelican),
+        num_shards=2,
+        registry_capacity=1,
+        policy=chaos_policy("blackout", seed=0),
+        resilience=resilience_policy("default", seed=0),
+    )
+    chaos_schedule = FleetSchedule()
+    targets = {}
+    tick = 10.0
+    for j in range(6):
+        for uid in corpus.personal_ids:
+            _, holdout = holdouts[uid]
+            window = holdout.windows[j % len(holdout.windows)]
+            targets[chaos_schedule.next_seq] = window.target
+            chaos_schedule.query(tick, uid, window.history, k=3)
+        tick += 10.0
+    responses = cluster.run(chaos_schedule)
+    stats = cluster.resilience_stats
+
+    def hit_rate(group):
+        if not group:
+            return 0.0
+        hits = sum(1 for r in group if targets[r.seq] in [loc for loc, _ in r.top_k])
+        return hits / len(group)
+
+    fresh = [r for r in responses if r.degraded is None]
+    degraded = [r for r in responses if r.degraded is not None]
+    availability = measure_availability(
+        chaos_schedule, responses, deadline=15.0,
+        penalized=stats.unprotected_outage_queries,
+    )
+    print(
+        f"fresh    : {len(fresh):3d} answers, top-3 hit rate {hit_rate(fresh):.2%}"
+    )
+    print(
+        f"degraded : {len(degraded):3d} answers, top-3 hit rate {hit_rate(degraded):.2%} "
+        f"(stale {stats.degraded_stale}, general {stats.degraded_general}, "
+        f"prior {stats.degraded_prior})"
+    )
+    print(
+        f"shed     : {stats.shed_queries} past-deadline, "
+        f"availability {availability.availability:.2%}, "
+        f"SLO attainment {availability.slo_attainment:.2%}"
+    )
+    print(
+        f"breakers : {stats.breaker_opens} opens, "
+        f"{stats.breaker_redirects} redirects, "
+        f"{len(stats.breaker_log)} logged transitions; "
+        f"retries {stats.retries_spent} spent / {stats.retries_denied} denied, "
+        f"{stats.backoff_seconds:.2f}s backoff"
     )
 
 

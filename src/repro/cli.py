@@ -22,6 +22,8 @@ Examples::
     python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
         --policies none lossy_network churn --fast
     python -m repro scenarios --scale tiny --shards 2 --policies none shard_outage --fast
+    python -m repro scenarios --scale tiny --shards 2 --policies hostile \\
+        --resilience default --deadline 15 --fast
     python -m repro audit --scale tiny --fast
     python -m repro audit --scale tiny --fast --defense none temperature \\
         --adversary A1 A2 --regimes campus commuter
@@ -214,6 +216,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         fast_setup=args.fast,
         num_shards=args.shards,
         placement=args.placement,
+        resilience=args.resilience,
+        deadline=args.deadline,
     )
     print(render_fleet(result))
     return 0 if result.parity else 1
@@ -247,6 +251,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         chaos_seed=args.chaos_seed,
         num_shards=args.shards,
         placement=args.placement,
+        resilience=args.resilience,
+        deadline=args.deadline,
     )
     print(render_scenarios(suite))
     return 0
@@ -296,6 +302,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         placement=args.placement,
         fast_setup=args.fast,
+        resilience=args.resilience,
+        deadline=args.deadline,
     )
     print(render_audit(report))
     return 0
@@ -305,6 +313,22 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name, (_, _, description) in EXPERIMENTS.items():
         print(f"{name:<10} {description}")
     return 0
+
+
+def _add_resilience_args(subparser: argparse.ArgumentParser) -> None:
+    """The shared ``--resilience``/``--deadline`` pair (DESIGN.md §11)."""
+    from repro.pelican.resilience import RESILIENCE_POLICIES
+
+    subparser.add_argument(
+        "--resilience", choices=sorted(RESILIENCE_POLICIES), default="none",
+        help="fault-handling policy: retry budgets, breakers, deadlines, "
+        "degradation (default: none — byte-identical to no policy)",
+    )
+    subparser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in simulated seconds; overrides the "
+        "resilience policy's own (default: policy deadline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -357,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="cut training epochs so setup takes seconds (serving-only results)",
     )
+    _add_resilience_args(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     from repro.data.regimes import REGIMES
@@ -400,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="cut training epochs so setup takes seconds (serving-only results)",
     )
+    _add_resilience_args(scenarios)
     scenarios.set_defaults(func=_cmd_scenarios)
 
     from repro.eval.audit import AUDIT_ATTACKS, AUDIT_DEFENSES
@@ -455,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="cut training epochs so setup takes seconds (serving-only results)",
     )
+    _add_resilience_args(audit)
     audit.set_defaults(func=_cmd_audit)
 
     lister = sub.add_parser("list", help="list experiment ids")

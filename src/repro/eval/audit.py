@@ -146,6 +146,7 @@ class AuditReport:
     ks: Tuple[int, ...]
     cells: List[AuditCell]
     num_shards: int = 1
+    resilience: str = "none"
 
     def cell(self, regime: str, defense: str, adversary: str) -> AuditCell:
         for cell in self.cells:
@@ -158,14 +159,19 @@ class AuditReport:
         raise KeyError(f"no audit cell ({regime!r}, {defense!r}, {adversary!r})")
 
     def signature(self) -> Dict[str, Any]:
-        return {
+        signature: Dict[str, Any] = {
             "scale": self.scale,
             "attack": self.attack,
             "chaos_policy": self.chaos_policy,
             "chaos_seed": self.chaos_seed,
             "audit_seed": self.audit_seed,
             "num_shards": self.num_shards,
-            "cells": {
+        }
+        # Joined only when a resilience policy is active, so the pinned
+        # golden signature's key set never moves (DESIGN.md §11).
+        if self.resilience != "none":
+            signature["resilience"] = self.resilience
+        signature["cells"] = {
                 f"{cell.regime}/{cell.defense}/{cell.adversary}": {
                     "leakage": {str(k): v for k, v in cell.leakage.items()},
                     "benign_hit_rate": cell.benign_hit_rate,
@@ -176,8 +182,8 @@ class AuditReport:
                     "signature": cell.signature,
                 }
                 for cell in self.cells
-            },
         }
+        return signature
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +237,8 @@ def run_audit_suite(
     max_instances: Optional[int] = None,
     fast_setup: bool = True,
     ks: Tuple[int, ...] = (1, 2, 3),
+    resilience: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> AuditReport:
     """Cross adversary classes × defenses × mobility regimes at one scale.
 
@@ -244,7 +252,10 @@ def run_audit_suite(
     ``num_shards > 1`` audits a placement-routed cluster, and ``policy``
     replays every cell under a chaos condition (probe rankings are
     invariant to fault timing because audit schedules carry no updates;
-    only the books move).
+    only the books move).  ``resilience``/``deadline`` layer a
+    fault-handling policy over every cell (DESIGN.md §11) — probes are
+    exempt from shedding and degradation by construction, so leakage
+    stays invariant while the accounting overlay reflects the policy.
     """
     if attack not in AUDIT_ATTACKS:
         raise KeyError(f"unknown audit attack {attack!r}; options: {sorted(AUDIT_ATTACKS)}")
@@ -264,6 +275,11 @@ def run_audit_suite(
             )
     if max_instances is None:
         max_instances = scale.attack_instances_per_user
+    from repro.pelican.resilience import resilience_policy
+
+    res_policy = None
+    if resilience is not None and resilience != "none":
+        res_policy = resilience_policy(resilience, seed=chaos_seed, deadline=deadline)
     cells: List[AuditCell] = []
     pelican = training_report = None
     # Imported here: scenarios owns the shared suite machinery (trained
@@ -330,6 +346,7 @@ def run_audit_suite(
                     registry_capacity,
                     num_shards=num_shards,
                     placement=placement,
+                    resilience=res_policy,
                 )
                 responses = fleet.run(schedule)
                 benign_hits = benign_total = 0
@@ -381,4 +398,5 @@ def run_audit_suite(
         ks=tuple(ks),
         cells=cells,
         num_shards=num_shards,
+        resilience=res_policy.name if res_policy is not None else "none",
     )

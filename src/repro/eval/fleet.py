@@ -31,6 +31,7 @@ from repro.pelican.accounting import ClusterReport
 from repro.pelican.cluster import Cluster
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.fleet import Fleet, FleetReport, QueryRequest, QueryResponse
+from repro.pelican.resilience import ResiliencePolicy, resilience_policy
 from repro.pelican.system import Pelican, PelicanConfig
 
 DEFAULT_LEVEL = SpatialLevel.BUILDING
@@ -106,9 +107,12 @@ def build_fleet_workload(
     fast_setup: bool = False,
     num_shards: int = 1,
     placement: str = "hash",
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> FleetWorkload:
     """Stand up a fleet (or sharded cluster) at ``scale`` and derive its
-    query workload.
+    query workload.  ``resilience`` optionally attaches a fault-handling
+    policy (DESIGN.md §11) — a no-op on this clean workload beyond the
+    stats overlay, which is exactly what the overhead benchmark measures.
 
     Personal users alternate local/cloud deployment (so both serving
     sides are exercised) and each contributes ``queries_per_user``
@@ -135,7 +139,9 @@ def build_fleet_workload(
     )
     if num_shards == 1:
         fleet: Union[Fleet, Cluster] = Fleet(
-            Pelican(spec, config), registry_capacity=registry_capacity
+            Pelican(spec, config),
+            registry_capacity=registry_capacity,
+            resilience=resilience,
         )
     else:
         fleet = Cluster(
@@ -144,6 +150,7 @@ def build_fleet_workload(
             num_shards=num_shards,
             placement=placement,
             registry_capacity=registry_capacity,
+            resilience=resilience,
         )
     train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
     fleet.train_cloud(train)
@@ -200,8 +207,15 @@ def run_fleet_throughput(
     fast_setup: bool = False,
     num_shards: int = 1,
     placement: str = "hash",
+    resilience: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> FleetThroughputResult:
     """Build a fleet at ``scale`` and compare both serving paths once."""
+    res_policy = None
+    if resilience is not None and resilience != "none":
+        res_policy = resilience_policy(
+            resilience, seed=scale.corpus.seed, deadline=deadline
+        )
     workload = build_fleet_workload(
         scale,
         queries_per_user=queries_per_user,
@@ -209,6 +223,7 @@ def run_fleet_throughput(
         fast_setup=fast_setup,
         num_shards=num_shards,
         placement=placement,
+        resilience=res_policy,
     )
     fleet, requests = workload.fleet, workload.requests
 

@@ -135,10 +135,15 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
     One row per (regime, chaos policy) cell; the Δ columns compare each
     faulty run against the same regime's clean baseline, so population
     effects (rows across regimes) and fault effects (rows within one
-    regime) read separately.
+    regime) read separately.  The avail/SLO/shed/degr columns score
+    every cell against the suite's common deadline (DESIGN.md §11) —
+    availability penalizes unprotected full-outage answers, SLO
+    attainment additionally demands the deadline was met, and the shed
+    and degraded counts expose what the resilience policy traded away.
     """
     headers = [
         "regime", "policy", "queries", "hit@k", "Δhit",
+        "avail", "SLO", "shed", "degr",
         "net s", "Δnet s", "Δcloud s", "retries", "deferred",
         "stragglers", "cold-fails",
     ]
@@ -151,6 +156,10 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
                 cell.num_queries,
                 f"{cell.hit_rate:.2%}",
                 f"{cell.hit_rate_delta:+.2%}",
+                f"{cell.availability:.2%}",
+                f"{cell.slo_attainment:.2%}",
+                cell.shed_queries,
+                cell.degraded_queries,
                 f"{cell.signature['network_seconds']:.2f}",
                 f"{cell.network_seconds_delta:+.2f}",
                 f"{cell.cloud_seconds_delta:+.3f}",
@@ -161,8 +170,14 @@ def render_scenarios(suite: "ScenarioSuiteResult") -> str:
             ]
         )
     shards = f", {suite.num_shards} shards" if suite.num_shards > 1 else ""
+    resilience = (
+        f", resilience {suite.resilience} (deadline {suite.deadline:g}s)"
+        if suite.resilience != "none"
+        else f", deadline {suite.deadline:g}s"
+    )
     lines = [
-        f"scenario matrix @ {suite.scale} (chaos seed {suite.chaos_seed}{shards}): "
+        f"scenario matrix @ {suite.scale} "
+        f"(chaos seed {suite.chaos_seed}{shards}{resilience}): "
         f"{len(suite.results)} cells",
         format_table(headers, rows),
     ]

@@ -31,6 +31,12 @@ from repro.pelican.chaos import ChaosFleet, chaos_policy
 from repro.pelican.cluster import Cluster
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.fleet import FleetSchedule
+from repro.pelican.resilience import (
+    DEFAULT_QUERY_DEADLINE,
+    ResiliencePolicy,
+    measure_availability,
+    resilience_policy,
+)
 from repro.pelican.system import Pelican, PelicanConfig
 
 LEVEL = SpatialLevel.BUILDING
@@ -57,6 +63,15 @@ class ScenarioResult:
     cloud_seconds_delta: float = 0.0
     device_seconds_delta: float = 0.0
     registry_load_seconds_delta: float = 0.0
+    # Resilience overlay (DESIGN.md §11).  Every cell — including the
+    # clean baseline — is scored against the same deadline, so
+    # availability and SLO attainment are comparable across the row.
+    resilience: str = "none"
+    deadline: float = DEFAULT_QUERY_DEADLINE
+    availability: float = 1.0
+    slo_attainment: float = 1.0
+    shed_queries: int = 0
+    degraded_queries: int = 0
 
 
 @dataclass
@@ -67,6 +82,8 @@ class ScenarioSuiteResult:
     chaos_seed: int
     results: List[ScenarioResult]
     num_shards: int = 1
+    resilience: str = "none"
+    deadline: float = DEFAULT_QUERY_DEADLINE
 
     def cell(self, regime: str, policy: str) -> ScenarioResult:
         for result in self.results:
@@ -152,6 +169,7 @@ def build_cell_fleet(
     registry_capacity: Optional[int],
     num_shards: int = 1,
     placement: str = "hash",
+    resilience: Optional[ResiliencePolicy] = None,
 ):
     """A fresh chaos-wrapped serving stack for one matrix cell.
 
@@ -162,7 +180,9 @@ def build_cell_fleet(
     suite-shared trained Pelican with the general-training cost booked
     on its cloud book (exactly as ``Fleet.train_cloud`` would have);
     more shards get a :class:`~repro.pelican.cluster.Cluster` with the
-    same cost at the cluster-level training book.
+    same cost at the cluster-level training book.  ``resilience``
+    optionally layers a fault-handling policy (DESIGN.md §11) over the
+    chaos; ``None`` (and the null policy) is byte-identical to today.
     """
     policy = chaos_policy(policy_name, seed=chaos_seed)
     if num_shards == 1:
@@ -170,6 +190,7 @@ def build_cell_fleet(
             copy.deepcopy(pelican),
             policy=policy,
             registry_capacity=registry_capacity,
+            resilience=resilience,
         )
         fleet.report.cloud_compute += training_report
         return fleet
@@ -179,6 +200,7 @@ def build_cell_fleet(
         placement=placement,
         registry_capacity=registry_capacity,
         policy=policy,
+        resilience=resilience,
     )
     fleet.report.training = fleet.report.training + training_report
     return fleet
@@ -194,10 +216,11 @@ def _run_cell(
     registry_capacity: Optional[int],
     num_shards: int = 1,
     placement: str = "hash",
+    resilience: Optional[ResiliencePolicy] = None,
 ):
     fleet = build_cell_fleet(
         pelican, training_report, policy_name, chaos_seed, registry_capacity,
-        num_shards=num_shards, placement=placement,
+        num_shards=num_shards, placement=placement, resilience=resilience,
     )
     responses = fleet.run(schedule)
     hits = sum(
@@ -206,7 +229,7 @@ def _run_cell(
         if targets[response.seq] in [loc for loc, _ in response.top_k]
     )
     hit_rate = hits / len(responses) if responses else 0.0
-    return fleet, hit_rate, len(responses)
+    return fleet, responses, hit_rate, len(responses)
 
 
 def run_scenario_suite(
@@ -220,6 +243,8 @@ def run_scenario_suite(
     chaos_seed: int = 0,
     num_shards: int = 1,
     placement: str = "hash",
+    resilience: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ScenarioSuiteResult:
     """Cross regimes × chaos policies at one scale tier.
 
@@ -233,7 +258,23 @@ def run_scenario_suite(
     :class:`~repro.pelican.cluster.Cluster` instead of a single-cloud
     fleet — the scale axis the matrix sweeps for sharded serving,
     including shard-outage policies with cross-shard failover.
+
+    ``resilience`` names a :data:`~repro.pelican.resilience.RESILIENCE_POLICIES`
+    preset applied to *every* cell (DESIGN.md §11); ``deadline``
+    overrides the policy's per-query deadline.  Availability and SLO
+    attainment are measured for every cell — with or without a policy —
+    against one common deadline (the override, else the policy's, else
+    :data:`~repro.pelican.resilience.DEFAULT_QUERY_DEADLINE`), so a
+    resilient run and an unprotected baseline read on the same scale.
     """
+    res_policy: Optional[ResiliencePolicy] = None
+    if resilience is not None and resilience != "none":
+        res_policy = resilience_policy(resilience, seed=chaos_seed, deadline=deadline)
+    measure_deadline = deadline
+    if measure_deadline is None and res_policy is not None:
+        measure_deadline = res_policy.deadline
+    if measure_deadline is None:
+        measure_deadline = DEFAULT_QUERY_DEADLINE
     results: List[ScenarioResult] = []
     pelican = training_report = None
     for regime_name in regimes:
@@ -250,15 +291,23 @@ def run_scenario_suite(
             pelican, training_report = trained_pelican(scale, corpus, fast_setup)
 
         def run_one(policy_name: str) -> ScenarioResult:
-            fleet, hit_rate, num_queries = _run_cell(
+            fleet, responses, hit_rate, num_queries = _run_cell(
                 pelican, training_report, schedule, targets, policy_name,
                 chaos_seed, registry_capacity,
                 num_shards=num_shards, placement=placement,
+                resilience=res_policy,
             )
             chaos = (
                 fleet.merged_chaos()
                 if isinstance(fleet, Cluster)
                 else fleet.chaos.signature()
+            )
+            stats = fleet.resilience_stats
+            availability = measure_availability(
+                schedule,
+                responses,
+                measure_deadline,
+                penalized=stats.unprotected_outage_queries,
             )
             return ScenarioResult(
                 regime=regime.name,
@@ -271,6 +320,12 @@ def run_scenario_suite(
                 signature=fleet.report.signature(),
                 chaos=chaos,
                 num_shards=num_shards,
+                resilience=res_policy.name if res_policy is not None else "none",
+                deadline=measure_deadline,
+                availability=availability.availability,
+                slo_attainment=availability.slo_attainment,
+                shed_queries=availability.shed,
+                degraded_queries=sum(1 for r in responses if r.degraded),
             )
 
         baseline = run_one("none")
@@ -302,4 +357,6 @@ def run_scenario_suite(
         chaos_seed=chaos_seed,
         results=results,
         num_shards=num_shards,
+        resilience=res_policy.name if res_policy is not None else "none",
+        deadline=measure_deadline,
     )

@@ -82,9 +82,19 @@ class MarkovChainModel:
 
     # ------------------------------------------------------------------
     def confidences(self, history: Sequence[SessionFeatures]) -> np.ndarray:
-        """Probability distribution over the next location."""
+        """Probability distribution over the next location.
+
+        Histories shorter than the order back off gracefully (order-1,
+        then marginal) instead of failing — the resilience layer's prior
+        tier (DESIGN.md §11) serves arbitrary query histories through
+        here.
+        """
         if self._marginal is None:
             raise RuntimeError("model has not been fit")
+        if len(history) < 2:
+            if history and history[-1].location in self._order1:
+                return self._order1[history[-1].location]
+            return self._marginal
         prev2 = history[0].location
         prev1 = history[1].location
         if self.order == 2 and (prev2, prev1) in self._order2:

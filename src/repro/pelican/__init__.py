@@ -10,7 +10,10 @@ deterministic event clock for interleaved workloads — plus seeded fault
 injection over all of it (:mod:`repro.pelican.chaos`, DESIGN.md §8) and
 the sharded cluster layer (:mod:`repro.pelican.cluster`, DESIGN.md §9):
 N shards behind deterministic placement, with outage failover and
-aggregated accounting.
+aggregated accounting — and the resilience layer
+(:mod:`repro.pelican.resilience`, DESIGN.md §11): retry budgets with
+seeded backoff, per-shard circuit breakers, query deadlines with load
+shedding, and a graceful-degradation ladder.
 """
 
 from repro.pelican.accounting import ClusterReport, totals_signature
@@ -79,13 +82,34 @@ from repro.pelican.privacy import (
     remove_privacy,
 )
 from repro.pelican.registry import ModelRegistry, RegistryStats
+from repro.pelican.resilience import (
+    DEFAULT_QUERY_DEADLINE,
+    RESILIENCE_POLICIES,
+    AvailabilityReport,
+    DegradationLadder,
+    ResiliencePolicy,
+    ResilienceStats,
+    RetryBudgetExhausted,
+    ShardBreaker,
+    measure_availability,
+    resilience_policy,
+    shed_late_queries,
+)
 from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
 from repro.pelican.transport import Channel, TransferRecord
 from repro.pelican.updates import UpdateResult, update_personal_model
 
 __all__ = [
+    "AvailabilityReport",
     "CHAOS_POLICIES",
     "CLOUD_SERVER",
+    "DEFAULT_QUERY_DEADLINE",
+    "DegradationLadder",
+    "RESILIENCE_POLICIES",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "RetryBudgetExhausted",
+    "ShardBreaker",
     "Channel",
     "ChaosFleet",
     "ChaosPolicy",
@@ -132,6 +156,9 @@ __all__ = [
     "apply_privacy",
     "chaos_policy",
     "confidence_sharpness",
+    "measure_availability",
+    "resilience_policy",
+    "shed_late_queries",
     "deploy_cloud",
     "deploy_local",
     "leakage_reduction",

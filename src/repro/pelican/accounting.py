@@ -274,6 +274,23 @@ class ClusterReport:
         }
 
 
+def overlay_signature(
+    base: Dict[str, Any], prefix: str, overlay: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge a stats overlay into a signature under a key prefix.
+
+    The single definition of how the chaos (``chaos_*``) and resilience
+    (``resilience_*``) layers join a report signature: keys are
+    namespaced, the base is never mutated, and — crucially for the
+    golden-signature tests — callers only apply an overlay when its
+    layer is active, so null runs keep the exact legacy key set.
+    """
+    merged = dict(base)
+    for key, value in overlay.items():
+        merged[f"{prefix}{key}"] = value
+    return merged
+
+
 def totals_signature(signature: Dict[str, Any]) -> Dict[str, Any]:
     """A signature with any per-shard breakdown stripped.
 

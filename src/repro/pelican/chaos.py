@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.pelican.accounting import overlay_signature
 from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
 from repro.pelican.fleet import (
     EventKind,
@@ -46,6 +47,13 @@ from repro.pelican.fleet import (
     QueryResponse,
 )
 from repro.pelican.registry import ModelRegistry
+from repro.pelican.resilience import (
+    _STREAM_COLD_LOAD_BACKOFF,
+    _STREAM_TRANSFER_BACKOFF,
+    ResiliencePolicy,
+    ResilienceStats,
+    shed_late_queries,
+)
 from repro.pelican.system import Pelican
 from repro.pelican.transport import Channel
 
@@ -148,6 +156,18 @@ CHAOS_POLICIES: Dict[str, ChaosPolicy] = {
             shard_outage_rate=1.0,
             shard_outage_duration=20.0,
         ),
+        # A long total outage over a lossy network: outage windows are
+        # longer than typical schedule horizons, so with a couple of
+        # shards the whole cluster is regularly dark at once — the
+        # condition the resilience layer's degradation ladder exists for
+        # (DESIGN.md §11).
+        ChaosPolicy(
+            name="blackout",
+            drop_probability=0.3,
+            max_retries=4,
+            shard_outage_rate=2.0,
+            shard_outage_duration=120.0,
+        ),
     )
 }
 
@@ -221,11 +241,22 @@ class FaultyChannel(Channel):
 
     policy: ChaosPolicy = field(default_factory=ChaosPolicy)
     chaos: ChaosStats = field(default_factory=ChaosStats)
+    #: Optional fault-handling policy (DESIGN.md §11): caps each
+    #: transfer's retries at the budget and charges seeded-jitter
+    #: exponential backoff into the resilience book.  ``None`` (or a
+    #: null policy) reproduces the unbudgeted chaos loop draw-for-draw.
+    resilience: Optional[ResiliencePolicy] = None
+    resilience_stats: Optional[ResilienceStats] = None
     _draws: int = 0
 
     @classmethod
     def wrap(
-        cls, channel: Channel, policy: ChaosPolicy, chaos: ChaosStats
+        cls,
+        channel: Channel,
+        policy: ChaosPolicy,
+        chaos: ChaosStats,
+        resilience: Optional[ResiliencePolicy] = None,
+        resilience_stats: Optional[ResilienceStats] = None,
     ) -> "FaultyChannel":
         """Take over an existing channel, preserving its recorded traffic."""
         faulty = cls(
@@ -233,6 +264,8 @@ class FaultyChannel(Channel):
             rtt_ms=channel.rtt_ms,
             policy=policy,
             chaos=chaos,
+            resilience=resilience,
+            resilience_stats=resilience_stats,
         )
         faulty.records = channel.records
         faulty._bytes = dict(channel._bytes)
@@ -240,19 +273,45 @@ class FaultyChannel(Channel):
         faulty._count = channel.transfer_count
         return faulty
 
+    @property
+    def _budgeted(self) -> bool:
+        return (
+            self.resilience is not None
+            and not self.resilience.is_null
+            and self.resilience.retry_budget is not None
+        )
+
     def _transfer(
         self, direction: str, num_bytes: int, label: str, count: int = 1
     ) -> float:
         probability = self.policy.drop_probability
         if probability <= 0.0:
             return super()._transfer(direction, num_bytes, label, count)
+        budgeted = self._budgeted
         bytes_each = num_bytes // count
         retries = 0
         for i in range(count):
             rng = self.policy.rng(_STREAM_TRANSFER, self._draws + i)
-            attempt = 0
-            while attempt < self.policy.max_retries and rng.random() < probability:
-                attempt += 1
+            if budgeted:
+                attempt = self.resilience.capped_attempts(
+                    rng,
+                    probability,
+                    self.policy.max_retries,
+                    "transfer",
+                    (self._draws + i,),
+                    self.resilience_stats,
+                )
+                if attempt:
+                    jitter = self.resilience.rng(
+                        _STREAM_TRANSFER_BACKOFF, self._draws + i
+                    )
+                    self.resilience_stats.backoff_seconds += (
+                        self.resilience.backoff_cost(jitter, attempt)
+                    )
+            else:
+                attempt = 0
+                while attempt < self.policy.max_retries and rng.random() < probability:
+                    attempt += 1
             retries += attempt
         self._draws += count
         if not retries:
@@ -268,15 +327,20 @@ class FaultyChannel(Channel):
 
     # ------------------------------------------------------------------
     def checkpoint(self) -> tuple:
-        """Also snapshot the draw index and retry counters, so parity
-        re-runs (``serve_looped``) replay the same fault sequence and
-        leave the chaos books untouched."""
+        """Also snapshot the draw index and retry counters — chaos *and*
+        resilience — so parity re-runs (``serve_looped``) replay the same
+        fault sequence and leave every book untouched."""
+        stats = self.resilience_stats
         return (
             *super().checkpoint(),
             self._draws,
             self.chaos.transfer_retries,
             self.chaos.retry_bytes,
             self.chaos.retry_seconds,
+            0 if stats is None else stats.retries_spent,
+            0 if stats is None else stats.retries_denied,
+            0.0 if stats is None else stats.backoff_seconds,
+            0 if stats is None else len(stats.denial_log),
         )
 
     def rollback(self, state: tuple) -> None:
@@ -286,7 +350,16 @@ class FaultyChannel(Channel):
             self.chaos.transfer_retries,
             self.chaos.retry_bytes,
             self.chaos.retry_seconds,
-        ) = state[4:]
+        ) = state[4:8]
+        stats = self.resilience_stats
+        if stats is not None:
+            (
+                stats.retries_spent,
+                stats.retries_denied,
+                stats.backoff_seconds,
+                denials,
+            ) = state[8:]
+            del stats.denial_log[denials:]
 
 
 class FlakyModelRegistry(ModelRegistry):
@@ -306,12 +379,16 @@ class FlakyModelRegistry(ModelRegistry):
         chaos: ChaosStats,
         storage_mbps: float = 400.0,
         store: Optional[Dict[int, bytes]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        resilience_stats: Optional[ResilienceStats] = None,
     ) -> None:
         super().__init__(
             capacity=capacity, seed=seed, storage_mbps=storage_mbps, store=store
         )
         self.policy = policy
         self.chaos = chaos
+        self.resilience = resilience
+        self.resilience_stats = resilience_stats
         self._fetches = 0
 
     def _fetch_seconds(self, user_id: int, blob: bytes) -> float:
@@ -321,12 +398,26 @@ class FlakyModelRegistry(ModelRegistry):
         if probability <= 0.0:
             return base
         rng = self.policy.rng(_STREAM_COLD_LOAD, user_id, self._fetches)
-        failures = 0
-        while (
-            failures < self.policy.max_cold_load_attempts - 1
-            and rng.random() < probability
-        ):
-            failures += 1
+        chaos_cap = self.policy.max_cold_load_attempts - 1
+        res = self.resilience
+        if res is not None and not res.is_null and res.retry_budget is not None:
+            failures = res.capped_attempts(
+                rng,
+                probability,
+                chaos_cap,
+                "cold_load",
+                (user_id, self._fetches),
+                self.resilience_stats,
+            )
+            if failures:
+                jitter = res.rng(_STREAM_COLD_LOAD_BACKOFF, user_id, self._fetches)
+                self.resilience_stats.backoff_seconds += res.backoff_cost(
+                    jitter, failures
+                )
+        else:
+            failures = 0
+            while failures < chaos_cap and rng.random() < probability:
+                failures += 1
         if failures:
             self.chaos.cold_load_failures += failures
             self.chaos.cold_load_retry_seconds += failures * base
@@ -360,10 +451,24 @@ class ChaosFleet(Fleet):
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
         registry_store: Optional[Dict[int, bytes]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        resilience_stats: Optional[ResilienceStats] = None,
     ) -> None:
         self.policy = policy
         self.chaos = ChaosStats()
-        faulty = FaultyChannel.wrap(pelican.channel, policy, self.chaos)
+        # Set before super().__init__ — both the channel wrap and the
+        # registry factory below consume them.
+        self.resilience = resilience
+        self.resilience_stats = (
+            resilience_stats if resilience_stats is not None else ResilienceStats()
+        )
+        faulty = FaultyChannel.wrap(
+            pelican.channel,
+            policy,
+            self.chaos,
+            resilience=resilience,
+            resilience_stats=self.resilience_stats,
+        )
         pelican.channel = faulty
         for user in pelican.users.values():
             if user.endpoint.channel is not None:
@@ -374,6 +479,8 @@ class ChaosFleet(Fleet):
             cloud_profile=cloud_profile,
             device_profile=device_profile,
             registry_store=registry_store,
+            resilience=resilience,
+            resilience_stats=self.resilience_stats,
         )
 
     def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:
@@ -383,18 +490,34 @@ class ChaosFleet(Fleet):
             policy=self.policy,
             chaos=self.chaos,
             store=self._registry_store,
+            resilience=self.resilience,
+            resilience_stats=self.resilience_stats,
         )
 
     # ------------------------------------------------------------------
     def signature(self) -> Dict[str, Any]:
-        """Fleet signature plus the chaos counters (all deterministic)."""
-        return {
-            **self.report.signature(),
-            **{f"chaos_{k}": v for k, v in self.chaos.signature().items()},
-        }
+        """Fleet signature plus the chaos counters (all deterministic).
+
+        A non-null resilience policy additionally joins its
+        ``resilience_*`` overlay; under the null policy the key set is
+        exactly the legacy one, which the golden tests pin.
+        """
+        signature = overlay_signature(
+            self.report.signature(), "chaos_", self.chaos.signature()
+        )
+        if self.resilience is not None and not self.resilience.is_null:
+            signature = overlay_signature(
+                signature, "resilience_", self.resilience_stats.signature()
+            )
+        return signature
 
     def run(self, schedule: FleetSchedule) -> List[QueryResponse]:
-        return super().run(self.perturb(schedule))
+        perturbed = self.perturb(schedule)
+        if self.resilience is not None and not self.resilience.is_null:
+            perturbed = shed_late_queries(
+                schedule, perturbed, self.resilience, self.resilience_stats
+            )
+        return super().run(perturbed)
 
     def perturb(self, schedule: FleetSchedule) -> FleetSchedule:
         """Apply offline windows and straggler delays to a schedule.

@@ -52,7 +52,9 @@ class QueryResponse:
     Prediction queries fill ``top_k``; probe queries (DESIGN.md §10)
     leave it empty and fill ``confidences`` — the observed-output
     confidence per probe, which is what the honest-but-curious provider
-    gets to see.
+    gets to see.  ``degraded`` names the resilience tier that answered
+    (``"stale"`` / ``"general"`` / ``"prior"``, DESIGN.md §11) when the
+    personal model was unreachable; ``None`` marks a fresh answer.
     """
 
     user_id: int
@@ -60,6 +62,7 @@ class QueryResponse:
     seq: int
     top_k: Tuple[Tuple[int, float], ...]
     confidences: Optional[Tuple[float, ...]] = None
+    degraded: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +219,10 @@ def replay_schedule(
             for e in pending
         ]
         for event, response in zip(pending, serve(pending[0].time, batch)):
+            if response is None:
+                # A shed slot (resilience load shedding, DESIGN.md §11):
+                # the query was counted, not answered.
+                continue
             responses.append(
                 QueryResponse(
                     user_id=response.user_id,
@@ -223,6 +230,7 @@ def replay_schedule(
                     seq=event.seq,
                     top_k=response.top_k,
                     confidences=response.confidences,
+                    degraded=response.degraded,
                 )
             )
         pending.clear()

@@ -29,6 +29,13 @@ Guarantees, in the same spirit as §7/§8:
   all cost-accounted on the shard that did the work.  Onboards and updates
   defer to the outage's end; per-user serial order is preserved.  The
   whole faulty run stays bit-deterministic and signature-comparable.
+* **Graceful degradation under resilience.**  With a
+  :class:`~repro.pelican.resilience.ResiliencePolicy` (DESIGN.md §11),
+  failover routing consults per-shard circuit breakers, chaos-deferred
+  queries that blew their deadline are shed up front, and a query with
+  *no* alive shard degrades through stale copy → general model → Markov
+  prior instead of being served on the downed home shard.  The null
+  policy is byte-identical to no policy at all.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import SequenceDataset
 from repro.data.features import FeatureSpec
 from repro.models.personalize import PersonalizationMethod
-from repro.pelican.accounting import ClusterReport
+from repro.pelican.accounting import ClusterReport, overlay_signature
 from repro.pelican.chaos import (
     ChaosFleet,
     ChaosPolicy,
@@ -47,6 +54,14 @@ from repro.pelican.chaos import (
     perturb_schedule,
     sample_shard_outages,
     shard_policy,
+)
+from repro.pelican.resilience import (
+    DegradationLadder,
+    ResiliencePolicy,
+    ResilienceStats,
+    ShardBreaker,
+    shard_resilience,
+    shed_late_queries,
 )
 from repro.pelican.clock import (
     EventKind,
@@ -59,7 +74,9 @@ from repro.pelican.clock import (
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
 from repro.pelican.dispatch import (
+    ProbePayload,
     dispatch_model_batch,
+    dispatch_prior_batch,
     group_requests,
     probe_response,
     serve_probe_group,
@@ -113,6 +130,15 @@ class Cluster:
         derived per shard; shard-outage windows and per-user deferrals are
         applied at cluster level.  ``None`` and the null policy are
         byte-for-byte identical.
+    resilience:
+        Optional :class:`~repro.pelican.resilience.ResiliencePolicy`
+        (DESIGN.md §11) governing how the cluster *reacts* to injected
+        faults: per-shard retry budgets with backoff (reseeded per shard
+        like chaos), circuit breakers steering failover, query deadlines
+        with load shedding, and the full-outage degradation ladder.  One
+        :class:`~repro.pelican.resilience.ResilienceStats` book is
+        shared across all shards.  ``None`` and the null policy are
+        byte-for-byte identical to the pre-resilience behaviour.
     """
 
     def __init__(
@@ -125,6 +151,7 @@ class Cluster:
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
         policy: Optional[ChaosPolicy] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -143,12 +170,31 @@ class Cluster:
             self.placement = make_placement(placement, config.seed, num_shards)
         self.policy = policy
         self.chaos = ChaosStats()
+        self.resilience = resilience
+        #: One stats book for the whole cluster (shared with every
+        #: shard), so the signature overlay needs no merging.
+        self.resilience_stats = ResilienceStats()
+        active = resilience is not None and not resilience.is_null
+        self._breakers: Dict[int, ShardBreaker] = (
+            {
+                shard_id: ShardBreaker(shard_id, resilience, self.resilience_stats)
+                for shard_id in range(num_shards)
+            }
+            if active and resilience.breaker_threshold is not None
+            else {}
+        )
+        self._ladder: Optional[DegradationLadder] = (
+            DegradationLadder(resilience, spec, config.seed)
+            if active and resilience.degrade_tiers
+            else None
+        )
         #: Cluster-wide durable checkpoint store, shared by every shard's
         #: registry — what makes cross-shard failover cold loads possible.
         self.store: Dict[int, bytes] = {}
         self.shards: List[Fleet] = []
         for shard_id in range(num_shards):
             pelican = Pelican(spec, config)
+            shard_res = shard_resilience(resilience, shard_id) if active else None
             if policy is None:
                 shard: Fleet = Fleet(
                     pelican,
@@ -156,6 +202,8 @@ class Cluster:
                     cloud_profile=cloud_profile,
                     device_profile=device_profile,
                     registry_store=self.store,
+                    resilience=shard_res,
+                    resilience_stats=self.resilience_stats,
                 )
             else:
                 shard = ChaosFleet(
@@ -165,6 +213,8 @@ class Cluster:
                     cloud_profile=cloud_profile,
                     device_profile=device_profile,
                     registry_store=self.store,
+                    resilience=shard_res,
+                    resilience_stats=self.resilience_stats,
                 )
             self.shards.append(shard)
         self.report = ClusterReport(
@@ -255,11 +305,20 @@ class Cluster:
         )
 
     def signature(self) -> Dict[str, Any]:
-        """Aggregated report signature plus the merged chaos counters."""
-        return {
-            **self.report.signature(),
-            **{f"chaos_{key}": value for key, value in self.merged_chaos().items()},
-        }
+        """Aggregated report signature plus the merged chaos counters.
+
+        A non-null resilience policy additionally joins the shared
+        ``resilience_*`` overlay; otherwise the key set is exactly the
+        legacy one (golden-signature contract).
+        """
+        signature = overlay_signature(
+            self.report.signature(), "chaos_", self.merged_chaos()
+        )
+        if self.resilience is not None and not self.resilience.is_null:
+            signature = overlay_signature(
+                signature, "resilience_", self.resilience_stats.signature()
+            )
+        return signature
 
     # ------------------------------------------------------------------
     # Lifecycle events (routed by placement)
@@ -343,6 +402,7 @@ class Cluster:
                     seq=i,
                     top_k=response.top_k,
                     confidences=response.confidences,
+                    degraded=response.degraded,
                 )
         return [r for r in responses if r is not None]
 
@@ -381,7 +441,7 @@ class Cluster:
         )
 
     def _prepare(self, schedule: FleetSchedule) -> FleetSchedule:
-        """Sample outages and apply the chaos perturbation, if any."""
+        """Sample outages, apply the chaos perturbation, shed late work."""
         self._outages = {}
         if self.policy is None or self.policy.is_null:
             return schedule
@@ -392,9 +452,14 @@ class Cluster:
         self._outages = sample_shard_outages(
             self.policy, self.num_shards, horizon, self.chaos
         )
-        return perturb_schedule(
+        perturbed = perturb_schedule(
             schedule, self.policy, self.chaos, outage_defer=self._outage_defer
         )
+        if self.resilience is not None and not self.resilience.is_null:
+            perturbed = shed_late_queries(
+                schedule, perturbed, self.resilience, self.resilience_stats
+            )
+        return perturbed
 
     def _outage_defer(self, event: FleetEvent, time: float) -> float:
         """Defer lifecycle events on a downed home shard to the outage end.
@@ -417,40 +482,84 @@ class Cluster:
 
     def _serve_tick(
         self, time: float, requests: List[QueryRequest]
-    ) -> List[QueryResponse]:
-        """One coalesced clock-tick batch, routed with outage awareness."""
+    ) -> List[Optional[QueryResponse]]:
+        """One coalesced clock-tick batch, routed with outage awareness.
+
+        With circuit breakers configured (DESIGN.md §11), every tick a
+        shard receives traffic is a health observation: a downed shard
+        takes a strike, enough strikes inside the sliding window open
+        its breaker, and an open breaker routes around the shard even
+        once its outage window has ended — until the cooldown half-opens
+        it and a successful tick closes it again.  ``None`` slots mark
+        shed queries; the replay loop skips them.
+        """
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
         for shard_id, indices in self._by_shard(requests).items():
             sub = [requests[i] for i in indices]
-            if self._down(shard_id, time):
+            down = self._down(shard_id, time)
+            breaker = self._breakers.get(shard_id)
+            if breaker is None:
+                unavailable = down
+            else:
+                allowed = breaker.allow(time)
+                if down:
+                    breaker.record_failure(time)
+                    unavailable = True
+                elif not allowed:
+                    self.resilience_stats.breaker_redirects += len(sub)
+                    unavailable = True
+                else:
+                    breaker.record_success(time)
+                    unavailable = False
+            if unavailable:
                 served = self._serve_despite_outage(time, shard_id, sub)
             else:
                 served = self.shards[shard_id].serve(sub)
             for i, response in zip(indices, served):
                 responses[i] = response
-        return [r for r in responses if r is not None]
+        return responses
 
     def _serve_despite_outage(
         self, time: float, home_id: int, requests: List[QueryRequest]
-    ) -> List[QueryResponse]:
-        """Serve a downed shard's tick batch.
+    ) -> List[Optional[QueryResponse]]:
+        """Serve an unavailable shard's tick batch.
 
         Locally-deployed users answer on their own devices — a cloud
         outage never touches them — while cloud-deployed users fail over,
         each to their first alive failover shard.  Answers are
         bit-identical to the clean run either way; only the cost
         attribution moves.
+
+        When *no* failover shard is alive the behaviour splits on the
+        resilience ladder (DESIGN.md §11): with a ladder configured the
+        queries degrade through it (stale copy → general model → Markov
+        prior, flagged on the response); without one they take the
+        legacy path — served on the downed home shard as if it were up —
+        and are counted as ``unprotected_outage_queries``, so baselines
+        can be penalized for the fiction.  Audit probes always take the
+        legacy path: probe answers are fault-invariant by contract
+        (DESIGN.md §10), so they are exempt from degradation.
         """
         home = self.shards[home_id]
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
         local: List[int] = []
+        degraded: List[int] = []
         by_fallback: "OrderedDict[int, List[int]]" = OrderedDict()
         for i, request in enumerate(requests):
             if home.pelican.users[request.user_id].endpoint.mode != DeploymentMode.CLOUD:
                 local.append(i)
-            else:
-                target = self._failover_target(request.user_id, home_id, time)
-                by_fallback.setdefault(target, []).append(i)
+                continue
+            target = self._failover_target(request.user_id, home_id, time)
+            if target is None:
+                if self._ladder is not None and not isinstance(
+                    request.history, ProbePayload
+                ):
+                    degraded.append(i)
+                    continue
+                target = home_id
+                if not isinstance(request.history, ProbePayload):
+                    self.resilience_stats.unprotected_outage_queries += 1
+            by_fallback.setdefault(target, []).append(i)
         if local:
             for i, response in zip(local, home.serve([requests[i] for i in local])):
                 responses[i] = response
@@ -460,17 +569,29 @@ class Cluster:
             )
             for i, response in zip(indices, served):
                 responses[i] = response
-        return [r for r in responses if r is not None]
+        if degraded:
+            served = self._serve_degraded(
+                home, [requests[i] for i in degraded]
+            )
+            for i, response in zip(degraded, served):
+                responses[i] = response
+        return responses
 
-    def _failover_target(self, user_id: int, home_id: int, time: float) -> int:
-        """The user's first alive failover shard.
+    def _failover_target(
+        self, user_id: int, home_id: int, time: float
+    ) -> Optional[int]:
+        """The user's first available failover shard, or ``None``.
 
         Hash-based placements walk the user's own ring successor order
         (:meth:`~repro.pelican.placement.HashPlacement.successors`), so
         failed-over load spreads the way consistent hashing promises;
-        other policies walk shard ids from the home.  Falls back to the
-        home shard itself if every shard is down (a full-cluster outage
-        has nowhere better to send the query).
+        other policies walk shard ids from the home.  With circuit
+        breakers configured, a candidate whose breaker is open is
+        skipped *before* its outage state is even probed — the redirect
+        that saves a doomed cold load — and downed candidates take a
+        breaker strike.  ``None`` means a full-cluster outage: nothing
+        is available, and the caller decides between the degradation
+        ladder and the legacy serve-on-downed-home path.
         """
         if isinstance(self.placement, HashPlacement):
             candidates = [
@@ -484,9 +605,18 @@ class Cluster:
                 for offset in range(1, self.num_shards)
             ]
         for candidate in candidates:
-            if not self._down(candidate, time):
-                return candidate
-        return home_id
+            breaker = self._breakers.get(candidate)
+            if breaker is not None and not breaker.allow(time):
+                self.resilience_stats.breaker_redirects += 1
+                continue
+            if self._down(candidate, time):
+                if breaker is not None:
+                    breaker.record_failure(time)
+                continue
+            if breaker is not None:
+                breaker.record_success(time)
+            return candidate
+        return None
 
     def _serve_failover(
         self, home: Fleet, fallback: Fleet, requests: List[QueryRequest]
@@ -545,3 +675,69 @@ class Cluster:
                 )
         fallback._sync_network()
         return [r for r in responses if r is not None]
+
+    def _serve_degraded(
+        self, home: Fleet, requests: List[QueryRequest]
+    ) -> List[Optional[QueryResponse]]:
+        """Full-cluster-outage serving through the degradation ladder.
+
+        Each per-model group resolves the best tier the ladder can offer
+        (DESIGN.md §11): a still-hot cached copy of the personal model
+        (``stale``), the published general model (``general``), or a
+        per-user Markov prior fit on the user's own onboarding data
+        (``prior``).  Answers are flagged with their tier so accuracy
+        splits fresh-vs-degraded.  Billing mirrors the failover path —
+        the query exchange flows through the endpoint's single
+        accounting boundary and the compute lands on the home shard's
+        book (the front door that produced the degraded answer) — so
+        query conservation survives degradation.  A group no tier can
+        answer is shed (``None`` slots), counted, never silently
+        dropped.
+        """
+        stats = self.resilience_stats
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        for (user_id, _, k, _), indices in group_requests(requests).items():
+            user = home.pelican.users[user_id]
+            histories = [requests[i].history for i in indices]
+            model, tier = self._ladder.resolve(
+                user_id,
+                self._stale_copy,
+                home.pelican._general_blob,
+                user.local_dataset,
+            )
+            if model is None:
+                stats.shed_queries += len(indices)
+                continue
+            if tier == "prior":
+                results = dispatch_prior_batch(model, histories, k)
+            else:
+                results, report = dispatch_model_batch(
+                    model, home.pelican.spec, histories, k
+                )
+                home.report.cloud_compute += report
+            user.endpoint.record_query_exchange(
+                len(indices), channel=home.pelican.channel, label="degraded-query"
+            )
+            home.report.batches += 1
+            home.report.queries += len(indices)
+            stats.count_degraded(tier, len(indices))
+            stats.full_outage_queries += len(indices)
+            for i, top in zip(indices, results):
+                responses[i] = QueryResponse(
+                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top), degraded=tier
+                )
+        home._sync_network()
+        return responses
+
+    def _stale_copy(self, user_id: int):
+        """A still-resident live copy of the user's model, home shard
+        first — the ladder's ``stale`` tier (no accounting, no LRU
+        effects, no durable-store access: the store is unreachable in a
+        full outage)."""
+        home_id = self.placement.shard_for(user_id)
+        order = [home_id] + [i for i in range(self.num_shards) if i != home_id]
+        for shard_id in order:
+            model = self.shards[shard_id].registry.peek(user_id)
+            if model is not None:
+                return model
+        return None

@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.architecture import NextLocationModel
 from repro.models.predictor import NextLocationPredictor
+from repro.nn.functional import top_k_indices
 from repro.nn.profiler import flop_counter
 from repro.pelican.clock import QueryRequest, QueryResponse
 from repro.pelican.cloud import ResourceReport
@@ -115,6 +116,29 @@ def dispatch_model_batch(
     with flop_counter() as counter:
         results = predictor.top_k_batch(histories, k)
     return results, ResourceReport.from_counter(counter)
+
+
+def dispatch_prior_batch(
+    model,
+    histories: Sequence[Tuple[SessionFeatures, ...]],
+    k: int,
+) -> List[List[Tuple[int, float]]]:
+    """One degraded group against a population/Markov prior (DESIGN.md §11).
+
+    The resilience ladder's last tier answers from a fitted
+    :class:`~repro.models.markov.MarkovChainModel` instead of a neural
+    model: a table lookup per history, no GEMMs, so there is no
+    :class:`ResourceReport` to attribute — callers still bill the query
+    exchange through the endpoint boundary like every other group.
+    Results have the same ``[(location, confidence), ...]`` shape as
+    :func:`dispatch_model_batch`, sorted descending, stable ties.
+    """
+    results = []
+    for history in histories:
+        confidences = np.asarray(model.confidences(history))
+        top = top_k_indices(confidences, k)
+        results.append([(int(i), float(confidences[i])) for i in top])
+    return results
 
 
 def dispatch_probe_batch(

@@ -58,6 +58,7 @@ from repro.pelican.dispatch import (
     serve_probe_group,
 )
 from repro.pelican.registry import ModelRegistry
+from repro.pelican.resilience import ResiliencePolicy, ResilienceStats
 from repro.pelican.system import OnboardedUser, Pelican
 from repro.models.personalize import PersonalizationMethod
 
@@ -96,6 +97,13 @@ class Fleet:
         Optional shared durable blob store.  A standalone fleet keeps its
         own; cluster shards pass one dict so every shard can cold-load any
         user's checkpoint during failover (DESIGN.md §9).
+    resilience / resilience_stats:
+        Optional fault-handling policy and its stats book (DESIGN.md
+        §11).  A bare fleet has no faults to handle, so these only bite
+        through the chaos subclass — but they live here so every serving
+        layer exposes the same ``resilience_stats`` surface, and so a
+        cluster can share one stats book across its shards.  ``None``
+        policy (or the null policy) leaves behaviour byte-identical.
     """
 
     def __init__(
@@ -105,9 +113,15 @@ class Fleet:
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
         registry_store: Optional[Dict[int, bytes]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        resilience_stats: Optional[ResilienceStats] = None,
     ) -> None:
         self.pelican = pelican
         self._registry_store = registry_store
+        self.resilience = resilience
+        self.resilience_stats = (
+            resilience_stats if resilience_stats is not None else ResilienceStats()
+        )
         self.registry = self._make_registry(registry_capacity, pelican.config.seed)
         self.cloud_profile = cloud_profile
         self.device_profile = device_profile

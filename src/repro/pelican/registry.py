@@ -129,6 +129,17 @@ class ModelRegistry:
         self._evict_over_capacity()
         return model
 
+    def peek(self, user_id: int) -> Optional[NextLocationModel]:
+        """The live model if resident, else ``None`` — no accounting,
+        no LRU bump, no cold load.
+
+        The resilience layer's stale tier (DESIGN.md §11) reads through
+        this: during a full outage there is no shard to bill a durable
+        fetch to, so a degraded answer may only reuse a copy that is
+        already hot.
+        """
+        return self._live.get(user_id)
+
     def _fetch_seconds(self, user_id: int, blob: bytes) -> float:
         """Simulated cost of fetching one checkpoint from durable storage.
 

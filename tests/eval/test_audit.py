@@ -85,6 +85,28 @@ class TestAuditSuite:
             assert cell.leakage == clean.leakage
             assert cell.signature["chaos_transfer_retries"] > 0
 
+    def test_blackout_with_resilience_keeps_leakage_invariant(self, tiny_report):
+        """Leakage-invariance under the worst preset: a blackout with the
+        default resilience policy moves the chaos/resilience books but
+        never the leakage curves (probes are shed-exempt and undegraded)."""
+        resilient = run_audit_suite(
+            ExperimentScale.tiny(),
+            regimes=("campus",),
+            defenses=("none", "temperature"),
+            adversaries=("A1",),
+            queries_per_user=1,
+            max_instances=3,
+            policy="blackout",
+            chaos_seed=7,
+            resilience="default",
+        )
+        for cell, clean in zip(resilient.cells, tiny_report.cells):
+            assert cell.leakage == clean.leakage
+        # The resilience tag joins the signature only when active — the
+        # golden key set (tiny_report, no policy) must not contain it.
+        assert resilient.signature()["resilience"] == "default"
+        assert "resilience" not in tiny_report.signature()
+
     def test_cluster_audit_matches_single_cloud_leakage(self, tiny_report):
         sharded = run_audit_suite(
             ExperimentScale.tiny(),

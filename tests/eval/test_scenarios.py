@@ -121,6 +121,81 @@ class TestScenarioSuite:
             assert policy in text
 
 
+class TestResilienceAxis:
+    """The --resilience axis over the matrix (DESIGN.md §11)."""
+
+    KWARGS = dict(
+        regimes=("campus",),
+        policies=("none", "blackout"),
+        queries_per_user=2,
+        fast_setup=True,
+        num_shards=2,
+    )
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        """The same blackout matrix, unprotected vs default-resilient."""
+        baseline = run_scenario_suite(ExperimentScale.tiny(), **self.KWARGS)
+        resilient = run_scenario_suite(
+            ExperimentScale.tiny(), resilience="default", **self.KWARGS
+        )
+        return baseline, resilient
+
+    def test_availability_columns_populated(self, pair):
+        baseline, resilient = pair
+        assert baseline.resilience == "none"
+        assert resilient.resilience == "default"
+        assert resilient.deadline > 0
+        for suite in pair:
+            for cell in suite.results:
+                assert 0.0 <= cell.slo_attainment <= cell.availability <= 1.0
+                assert cell.shed_queries >= 0
+                assert cell.degraded_queries >= 0
+
+    def test_resilience_lifts_blackout_availability(self, pair):
+        """The acceptance comparison: on the shared deadline scale the
+        default policy beats the unprotected baseline under blackout."""
+        baseline, resilient = pair
+        assert baseline.deadline == resilient.deadline
+        unprotected = baseline.cell("campus", "blackout")
+        protected = resilient.cell("campus", "blackout")
+        assert protected.availability > unprotected.availability
+        # The lift comes from flagged degraded answers, not silent fiction.
+        assert protected.degraded_queries > 0
+        assert unprotected.degraded_queries == 0
+
+    def test_clean_cell_is_not_degraded(self, pair):
+        _, resilient = pair
+        clean = resilient.cell("campus", "none")
+        assert clean.availability == 1.0
+        assert clean.slo_attainment == 1.0
+        assert clean.shed_queries == 0
+        assert clean.degraded_queries == 0
+
+    def test_null_resilience_signatures_identical(self):
+        """resilience="none" is byte-identical to omitting the axis."""
+        kwargs = dict(
+            regimes=("campus",),
+            policies=("none",),
+            queries_per_user=2,
+            fast_setup=True,
+        )
+        bare = run_scenario_suite(ExperimentScale.tiny(), **kwargs)
+        nulled = run_scenario_suite(
+            ExperimentScale.tiny(), resilience="none", **kwargs
+        )
+        for cell, again in zip(bare.results, nulled.results):
+            assert cell.signature == again.signature
+            assert set(cell.signature) == set(again.signature)
+
+    def test_render_shows_resilience_columns(self, pair):
+        _, resilient = pair
+        text = render_scenarios(resilient)
+        assert "resilience default" in text
+        for column in ("avail", "SLO", "shed", "degr"):
+            assert column in text
+
+
 class TestScenarioSchedule:
     def test_targets_keyed_by_event_seq(self):
         from repro.data import SpatialLevel, generate_regime_corpus

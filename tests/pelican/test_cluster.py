@@ -395,11 +395,13 @@ class TestFailover:
             assert cluster._failover_target(uid, home, 0.0) != home or (
                 cluster.num_shards == 1
             )
-            # With every shard down, the home shard is the last resort.
+            # With every shard down there is no target: the caller
+            # decides between the degradation ladder and the legacy
+            # serve-on-downed-home path (DESIGN.md §11).
             cluster._outages = {
                 s: [(0.0, 1.0)] for s in range(cluster.num_shards)
             }
-            assert cluster._failover_target(uid, home, 0.5) == home
+            assert cluster._failover_target(uid, home, 0.5) is None
             cluster._outages = {}
             # The chosen target is the first non-home ring successor.
             expected = [

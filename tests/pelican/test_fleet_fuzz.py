@@ -20,7 +20,11 @@ fleet layer advertises:
   interleaved adversary probe batches bill every probe exactly once:
   per-endpoint ledgers move by benign + probe counts, the fleet totals
   match, and the adversary attribution overlay equals exactly the probe
-  rows.
+  rows;
+* **resilience invariants** (DESIGN.md §11) — the null resilience policy
+  is byte-identical to no policy at all; under an active policy every
+  query is answered or counted shed (conservation); and same-seed runs
+  are bit-deterministic end to end, breaker transition log included.
 
 The schedule count is env-tunable so CI can smoke a subset::
 
@@ -45,6 +49,7 @@ from repro.models import GeneralModelConfig, PersonalizationConfig
 from repro.pelican import (
     ChaosFleet,
     ChaosPolicy,
+    Cluster,
     DeploymentMode,
     EventKind,
     Fleet,
@@ -52,6 +57,9 @@ from repro.pelican import (
     Pelican,
     PelicanConfig,
     QueryRequest,
+    ResiliencePolicy,
+    chaos_policy,
+    resilience_policy,
 )
 
 LEVEL = SpatialLevel.BUILDING
@@ -318,6 +326,83 @@ def test_null_chaos_identical_to_chaos_off(base, tiny_corpus, seed):
     assert plain.run(schedule) == chaotic.run(schedule)
     assert plain.report.signature() == chaotic.report.signature()
     assert not any(chaotic.chaos.signature().values())
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 5))
+def test_null_resilience_identical_to_resilience_off(base, tiny_corpus, seed):
+    """The null resilience policy over real chaos == no policy at all:
+    same responses, same signature, same signature *key set*."""
+    pristine, _, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, seed, include_onboards=True)
+    policy = chaos_policy("hostile", seed=seed)
+    bare = ChaosFleet(copy.deepcopy(pristine), policy, registry_capacity=1)
+    nulled = ChaosFleet(
+        copy.deepcopy(pristine),
+        policy,
+        registry_capacity=1,
+        resilience=ResiliencePolicy(),
+    )
+    assert bare.run(schedule) == nulled.run(schedule)
+    assert bare.signature() == nulled.signature()
+    assert not any(k.startswith("resilience_") for k in nulled.signature())
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 5))
+def test_resilience_conservation_and_determinism(base, tiny_corpus, seed):
+    """Under an active policy every query is answered or counted shed,
+    and same-seed reruns are bit-identical — backoff jitter included."""
+    pristine, _, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, 2000 + seed, include_onboards=True)
+    num_queries = sum(
+        1 for e in schedule.ordered() if e.kind is EventKind.QUERY
+    )
+
+    def run():
+        fleet = ChaosFleet(
+            copy.deepcopy(pristine),
+            chaos_policy("hostile", seed=seed),
+            registry_capacity=1,
+            resilience=resilience_policy("default", seed=seed),
+        )
+        return fleet.run(schedule), fleet
+
+    responses, fleet = run()
+    stats = fleet.resilience_stats
+    assert len(responses) + stats.shed_queries == num_queries
+
+    rerun, rerun_fleet = run()
+    assert rerun == responses
+    assert rerun_fleet.resilience_stats.signature() == stats.signature()
+    assert rerun_fleet.signature() == fleet.signature()
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 10))
+def test_cluster_breaker_log_determinism(base, tiny_corpus, seed):
+    """A sharded cluster under blackout chaos replays its breaker
+    transition log bit-identically across same-seed runs."""
+    pristine, _, splits = base
+    schedule = generate_schedule(tiny_corpus, splits, 3000 + seed, include_onboards=True)
+
+    def run():
+        cluster = Cluster.from_trained(
+            copy.deepcopy(pristine),
+            num_shards=2,
+            registry_capacity=1,
+            policy=chaos_policy("blackout", seed=seed),
+            resilience=resilience_policy("default", seed=seed),
+        )
+        return cluster.run(schedule), cluster
+
+    responses, cluster = run()
+    rerun, rerun_cluster = run()
+    assert rerun == responses
+    assert rerun_cluster.resilience_stats.breaker_log == (
+        cluster.resilience_stats.breaker_log
+    )
+    assert rerun_cluster.resilience_stats.signature() == (
+        cluster.resilience_stats.signature()
+    )
+    assert rerun_cluster.signature() == cluster.signature()
 
 
 @pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
