@@ -1,0 +1,170 @@
+"""Cross-model stacked dispatch benchmark (DESIGN.md §12).
+
+A cloud tick touching N same-shaped personal models pays N Python
+dispatches on the per-model path — predictor construction, per-session
+encoding, and a handful of small GEMMs per model.  The stacked path
+serves the identical tick as one batch-encode plus a few batched GEMMs
+over stacked weights.  This benchmark pins that advantage at fleet
+scales (100 / 1k / 10k models) over a *warm* weight-stack cache — the
+steady serving state, since rows persist across ticks until a lifecycle
+transition invalidates them.
+
+Models are synthetic (random same-shaped personal models): serving cost
+depends only on shapes, not on how converged the weights are, and
+building 10k real personalizations would take minutes for no additional
+signal.  Parity is still gated both ways at every scale — exact
+rankings AND 1e-9-relative confidences with zero absolute slack —
+before any timing is trusted, and the booked MACs must equal the
+per-model path's integers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.features import FeatureSpec, SessionFeatures
+from repro.models import NextLocationModel
+from repro.pelican import WeightStackCache
+from repro.pelican.dispatch import dispatch_model_batch, dispatch_stacked_tick
+
+# Same acceptance shape as the fleet serving benchmark: quiet hardware
+# must clear 3x; shared CI runners get a jitter-relaxed bar, parity
+# stays a hard gate everywhere.
+MIN_SPEEDUP = 1.5 if os.environ.get("CI") else 3.0
+
+WINDOW_STEPS = 4
+#: (num_models, hidden) — hidden shrinks at 10k to keep the stacked
+#: weight blocks (and the 10k per-model python objects) in memory bounds.
+SCALES = {100: 16, 1000: 16, 10000: 4}
+
+SPEC = FeatureSpec(num_locations=8)
+
+
+def _build_groups(num_models: int, hidden: int):
+    """One tick's worth of resolved stackable groups, plus a warm cache."""
+    rng = np.random.default_rng(17)
+    groups = []
+    for uid in range(num_models):
+        model = NextLocationModel(
+            input_width=SPEC.width,
+            num_locations=SPEC.num_locations,
+            hidden_size=hidden,
+            num_layers=1,
+            dropout=0.0,
+            rng=np.random.default_rng(uid),
+        )
+        model.set_privacy_temperature(1e-3)
+        model.eval()
+        # Mostly one query per model (the fleet-scale worst case for the
+        # per-model path); a few ragged 2-3 query groups keep the
+        # padding path honest.
+        size = 1 if uid % 17 else 1 + uid % 3
+        histories = [
+            tuple(
+                SessionFeatures(
+                    entry_bin=int(rng.integers(0, SPEC.entry_bins)),
+                    duration_bin=int(rng.integers(0, SPEC.duration_bins)),
+                    location=int(rng.integers(0, SPEC.num_locations)),
+                    day_of_week=int(rng.integers(0, SPEC.days)),
+                )
+                for _ in range(WINDOW_STEPS)
+            )
+            for _ in range(max(1, size))
+        ]
+        groups.append((uid, model, histories, 1 + uid % 4))
+    cache = WeightStackCache()
+    dispatch_stacked_tick(cache, SPEC, groups)  # warm the stack rows
+    return cache, groups
+
+
+def _serve_per_model(groups):
+    return [
+        dispatch_model_batch(model, SPEC, histories, k)
+        for _, model, histories, k in groups
+    ]
+
+
+def _assert_parity(stacked_served, per_model_served):
+    """The double gate: exact rankings, then 1e-9-relative confidences
+    (atol=0), plus integer MAC equality group by group."""
+    assert len(stacked_served) == len(per_model_served)
+    for stacked, per_model in zip(stacked_served, per_model_served):
+        assert stacked is not None
+        (results, report), (expected, measured) = stacked, per_model
+        assert report.macs == measured.macs
+        for got, want in zip(results, expected):
+            assert [loc for loc, _ in got] == [loc for loc, _ in want]
+            np.testing.assert_allclose(
+                [conf for _, conf in got],
+                [conf for _, conf in want],
+                rtol=1e-9,
+                atol=0.0,
+            )
+
+
+@pytest.fixture(scope="module")
+def tick_100():
+    return _build_groups(100, SCALES[100])
+
+
+@pytest.fixture(scope="module")
+def tick_1k():
+    return _build_groups(1000, SCALES[1000])
+
+
+def test_stacked_tick_100_models(benchmark, tick_100):
+    cache, groups = tick_100
+    benchmark(dispatch_stacked_tick, cache, SPEC, groups)
+
+
+def test_per_model_tick_100_models(benchmark, tick_100):
+    _, groups = tick_100
+    benchmark(_serve_per_model, groups)
+
+
+def test_stacked_tick_1k_models(benchmark, tick_1k):
+    cache, groups = tick_1k
+    benchmark(dispatch_stacked_tick, cache, SPEC, groups)
+
+
+def test_per_model_tick_1k_models(benchmark, tick_1k):
+    _, groups = tick_1k
+    benchmark(_serve_per_model, groups)
+
+
+@pytest.mark.parametrize("num_models", sorted(SCALES))
+def test_stacked_speedup_and_parity(num_models):
+    """Acceptance: the stacked tick is ≥ 3x faster than the per-model
+    loop (relaxed under CI) at every fleet scale, with parity gated
+    before any timing is trusted."""
+    cache, groups = _build_groups(num_models, SCALES[num_models])
+
+    _assert_parity(
+        dispatch_stacked_tick(cache, SPEC, groups), _serve_per_model(groups)
+    )
+
+    rounds = 3 if num_models >= 10000 else 5
+
+    def best_of(fn, *args):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    per_model_seconds, per_model_served = best_of(_serve_per_model, groups)
+    stacked_seconds, stacked_served = best_of(
+        dispatch_stacked_tick, cache, SPEC, groups
+    )
+    _assert_parity(stacked_served, per_model_served)  # and after timing
+    speedup = per_model_seconds / stacked_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"stacked tick over {num_models} models only {speedup:.2f}x faster "
+        f"than per-model dispatch ({stacked_seconds * 1e3:.2f}ms vs "
+        f"{per_model_seconds * 1e3:.2f}ms)"
+    )

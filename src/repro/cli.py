@@ -218,6 +218,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         placement=args.placement,
         resilience=args.resilience,
         deadline=args.deadline,
+        stacked=args.stacked,
     )
     print(render_fleet(result))
     return 0 if result.parity else 1
@@ -380,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--fast", action="store_true",
         help="cut training epochs so setup takes seconds (serving-only results)",
+    )
+    fleet.add_argument(
+        "--stacked", action="store_true",
+        help="serve cloud groups via cross-model stacked dispatch (same answers)",
     )
     _add_resilience_args(fleet)
     fleet.set_defaults(func=_cmd_fleet)

@@ -164,6 +164,37 @@ class FeatureSpec:
         """Encode an ordered window of sessions into ``(len, width)``."""
         return np.stack([self.encode(s) for s in sessions])
 
+    def encode_windows(
+        self, windows: Sequence[Sequence[SessionFeatures]]
+    ) -> np.ndarray:
+        """Encode many same-length windows into ``(n, len, width)`` at once.
+
+        Vectorized equivalent of stacking :meth:`encode_sequence` per
+        window: the one-hot scatter runs as four fancy-indexed writes
+        over all sessions instead of one numpy allocation per session.
+        The values are bit-identical (0.0/1.0 one-hots either way) — this
+        is the encoding stage of the stacked serving path (DESIGN.md
+        §12), where per-session Python would otherwise dominate the tick.
+        """
+        n = len(windows)
+        if n == 0:
+            return np.zeros((0, 0, self.width))
+        steps = len(windows[0])
+        if any(len(w) != steps for w in windows):
+            raise ValueError("windows must share one length to batch-encode")
+        flat = np.zeros((n * steps, self.width))
+        rows = np.arange(n * steps)
+        sessions = [s for window in windows for s in window]
+        entry = np.fromiter((s.entry_bin for s in sessions), dtype=np.intp, count=n * steps)
+        duration = np.fromiter((s.duration_bin for s in sessions), dtype=np.intp, count=n * steps)
+        location = np.fromiter((s.location for s in sessions), dtype=np.intp, count=n * steps)
+        day = np.fromiter((s.day_of_week for s in sessions), dtype=np.intp, count=n * steps)
+        flat[rows, self.entry_offset + entry] = 1.0
+        flat[rows, self.duration_offset + duration] = 1.0
+        flat[rows, self.location_offset + location] = 1.0
+        flat[rows, self.day_offset + day] = 1.0
+        return flat.reshape(n, steps, self.width)
+
 
 def location_marginals(
     featurized: Sequence[SessionFeatures], num_locations: int, smoothing: float = 0.0

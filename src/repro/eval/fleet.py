@@ -88,6 +88,7 @@ class FleetThroughputResult:
     parity: bool
     report: Union[FleetReport, ClusterReport]
     num_shards: int = 1
+    stacked: bool = False
 
     @property
     def speedup(self) -> float:
@@ -108,11 +109,15 @@ def build_fleet_workload(
     num_shards: int = 1,
     placement: str = "hash",
     resilience: Optional[ResiliencePolicy] = None,
+    stacked: bool = False,
 ) -> FleetWorkload:
     """Stand up a fleet (or sharded cluster) at ``scale`` and derive its
     query workload.  ``resilience`` optionally attaches a fault-handling
     policy (DESIGN.md §11) — a no-op on this clean workload beyond the
     stats overlay, which is exactly what the overhead benchmark measures.
+    ``stacked`` serves cloud groups through the cross-model stacked
+    dispatch (DESIGN.md §12) — identical answers and signature, fewer,
+    bigger GEMMs.
 
     Personal users alternate local/cloud deployment (so both serving
     sides are exercised) and each contributes ``queries_per_user``
@@ -142,6 +147,7 @@ def build_fleet_workload(
             Pelican(spec, config),
             registry_capacity=registry_capacity,
             resilience=resilience,
+            stacked=stacked,
         )
     else:
         fleet = Cluster(
@@ -151,6 +157,7 @@ def build_fleet_workload(
             placement=placement,
             registry_capacity=registry_capacity,
             resilience=resilience,
+            stacked=stacked,
         )
     train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
     fleet.train_cloud(train)
@@ -209,6 +216,7 @@ def run_fleet_throughput(
     placement: str = "hash",
     resilience: Optional[str] = None,
     deadline: Optional[float] = None,
+    stacked: bool = False,
 ) -> FleetThroughputResult:
     """Build a fleet at ``scale`` and compare both serving paths once."""
     res_policy = None
@@ -224,6 +232,7 @@ def run_fleet_throughput(
         num_shards=num_shards,
         placement=placement,
         resilience=res_policy,
+        stacked=stacked,
     )
     fleet, requests = workload.fleet, workload.requests
 
@@ -245,4 +254,5 @@ def run_fleet_throughput(
         parity=responses_match(batched, looped),
         report=fleet.report,
         num_shards=workload.num_shards,
+        stacked=stacked,
     )

@@ -82,6 +82,7 @@ from repro.pelican.privacy import (
     remove_privacy,
 )
 from repro.pelican.registry import ModelRegistry, RegistryStats
+from repro.pelican.stacking import WeightStack, WeightStackCache, stack_key
 from repro.pelican.resilience import (
     DEFAULT_QUERY_DEADLINE,
     RESILIENCE_POLICIES,
@@ -153,6 +154,9 @@ __all__ = [
     "ServiceEndpoint",
     "TransferRecord",
     "UpdateResult",
+    "WeightStack",
+    "WeightStackCache",
+    "stack_key",
     "apply_privacy",
     "chaos_policy",
     "confidence_sharpness",

@@ -453,6 +453,7 @@ class ChaosFleet(Fleet):
         registry_store: Optional[Dict[int, bytes]] = None,
         resilience: Optional[ResiliencePolicy] = None,
         resilience_stats: Optional[ResilienceStats] = None,
+        stacked: bool = False,
     ) -> None:
         self.policy = policy
         self.chaos = ChaosStats()
@@ -481,6 +482,7 @@ class ChaosFleet(Fleet):
             registry_store=registry_store,
             resilience=resilience,
             resilience_stats=self.resilience_stats,
+            stacked=stacked,
         )
 
     def _make_registry(self, capacity: Optional[int], seed: int) -> ModelRegistry:

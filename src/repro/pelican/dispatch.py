@@ -22,7 +22,7 @@ Two request species flow through the same grouping:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +30,11 @@ from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.architecture import NextLocationModel
 from repro.models.predictor import NextLocationPredictor
 from repro.nn.functional import top_k_indices
-from repro.nn.profiler import flop_counter
+from repro.nn.fused import stacked_infer_last
+from repro.nn.profiler import DEFAULT_CYCLES_PER_MAC, flop_counter
 from repro.pelican.clock import QueryRequest, QueryResponse
 from repro.pelican.cloud import ResourceReport
+from repro.pelican.stacking import StackKey, WeightStackCache, stack_key
 
 #: Group key: requests sharing one can run as one fused dispatch.
 #: ``(user_id, window length, k, is_probe)`` — the trailing flag keeps
@@ -116,6 +118,125 @@ def dispatch_model_batch(
     with flop_counter() as counter:
         results = predictor.top_k_batch(histories, k)
     return results, ResourceReport.from_counter(counter)
+
+
+#: Minimum same-shaped groups a tick must carry before stacking pays:
+#: a singleton "stack" is the per-model dispatch with extra copies.
+MIN_STACK_GROUPS = 2
+
+#: One resolved prediction group for :func:`dispatch_stacked_tick`:
+#: ``(user_id, model, histories, k)`` — the model already resolved by
+#: the caller (registry hit / cold load), never a probe.
+StackedGroup = Tuple[int, NextLocationModel, Sequence[Tuple[SessionFeatures, ...]], int]
+
+
+def _stacked_group_macs(key: StackKey, steps: int, batch: int) -> int:
+    """Per-model-equivalent MACs of one group served via a stack.
+
+    Exactly the integer the flop counter records when the same group
+    runs through :func:`dispatch_model_batch`: the per-layer input
+    projection ``T·B·F·4H``, the ``(T-1)`` recurrent steps ``B·H·4H``
+    (the ``t == 0`` zero-state step is skipped on both paths), and the
+    head ``B·H·L``.  Booking groups at this rate is what keeps the
+    stacked path's report signature identical to the per-model one
+    (DESIGN.md §12): stacking changes how the arithmetic is *scheduled*,
+    not how much arithmetic each group logically is.
+    """
+    total = 0
+    for f, h in key[1]:
+        total += steps * batch * f * 4 * h
+        if steps > 1:
+            total += (steps - 1) * batch * h * 4 * h
+    h_top, locations = key[2]
+    total += batch * h_top * locations
+    return total
+
+
+def dispatch_stacked_tick(
+    stack_cache: WeightStackCache,
+    spec: FeatureSpec,
+    groups: Sequence[StackedGroup],
+    min_stack_groups: int = MIN_STACK_GROUPS,
+) -> List[Optional[Tuple[List[List[Tuple[int, float]]], ResourceReport]]]:
+    """Serve a whole tick's stackable groups as a few batched GEMM calls.
+
+    Groups are bucketed by ``(stack key, window length)``; every bucket
+    with at least ``min_stack_groups`` members is served stacked.  Within
+    a bucket, members are sub-bucketed by ``(batch size, k)`` so each
+    stacked inference runs over a uniform-size batch — no zero-padding
+    (padded rows would be wasted GEMM work at fleet scale, where most
+    groups carry a single query) — and top-k selection runs as ONE
+    batched call per sub-bucket.  ``argpartition``/``argsort`` operate
+    row-wise along the last axis, so the batched selection is
+    bit-identical to per-group calls with the same ``k``.  The returned
+    list aligns with ``groups``: a ``(results, report)`` pair for groups
+    served here, ``None`` for groups the caller must route through the
+    per-model path — reference backend, no same-shaped partner this tick
+    (heterogeneous-shape fallback), or an under-filled bucket.
+
+    The per-group :class:`ResourceReport` books the same MACs the
+    per-model dispatch would have measured (:func:`_stacked_group_macs`),
+    so the caller attributes cost group by group exactly as before.
+    """
+    served: List[Optional[Tuple[List[List[Tuple[int, float]]], ResourceReport]]] = [
+        None
+    ] * len(groups)
+    buckets: "OrderedDict[Tuple[StackKey, int], List[int]]" = OrderedDict()
+    for pos, (_, model, histories, _) in enumerate(groups):
+        key = stack_key(model)
+        if key is None:
+            continue
+        buckets.setdefault((key, len(histories[0])), []).append(pos)
+
+    for (key, steps), members in buckets.items():
+        if len(members) < min_stack_groups:
+            continue
+        stack = stack_cache.stack_for(key)
+        sub_buckets: "OrderedDict[Tuple[int, int], List[int]]" = OrderedDict()
+        for pos in members:
+            sub_buckets.setdefault(
+                (len(groups[pos][2]), groups[pos][3]), []
+            ).append(pos)
+
+        for (size, k), sub in sub_buckets.items():
+            rows = [stack.ensure(groups[pos][0], groups[pos][1]) for pos in sub]
+            layers, head_w, head_b, temps = stack.gather(rows)
+            encoded = spec.encode_windows(
+                [history for pos in sub for history in groups[pos][2]]
+            )
+            x = encoded.reshape(len(sub), size, steps, spec.width)
+            if x.dtype != stack.dtype:
+                x = x.astype(stack.dtype)
+
+            last = stacked_infer_last(x, layers)  # (M, size, H)
+            logits = np.matmul(last, head_w)
+            logits += head_b[:, None, :]
+            # Always divide: rows store temperature 1.0 for no-privacy
+            # models and x / 1.0 is IEEE-exact, matching the per-model
+            # skip.
+            logits /= temps[:, None, None]
+            shifted = logits - logits.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+            order = top_k_indices(log_probs, k, axis=-1)  # (M, size, k)
+            confidences = np.exp(np.take_along_axis(log_probs, order, axis=-1))
+            locations = order.tolist()
+            confidence_rows = confidences.tolist()
+            macs = _stacked_group_macs(key, steps, size)
+            for m, pos in enumerate(sub):
+                results = [
+                    list(zip(loc_row, conf_row))
+                    for loc_row, conf_row in zip(locations[m], confidence_rows[m])
+                ]
+                served[pos] = (
+                    results,
+                    ResourceReport(
+                        macs=macs,
+                        estimated_billion_cycles=macs * DEFAULT_CYCLES_PER_MAC / 1e9,
+                        wall_seconds=0.0,
+                    ),
+                )
+    return served
 
 
 def dispatch_prior_batch(

@@ -53,6 +53,7 @@ from repro.pelican.device import CLOUD_SERVER, LOW_END_PHONE, DeviceProfile
 from repro.pelican.dispatch import (
     ProbePayload,
     dispatch_model_batch,
+    dispatch_stacked_tick,
     group_requests,
     probe_response,
     serve_probe_group,
@@ -104,6 +105,14 @@ class Fleet:
         layer exposes the same ``resilience_stats`` surface, and so a
         cluster can share one stats book across its shards.  ``None``
         policy (or the null policy) leaves behaviour byte-identical.
+    stacked:
+        Serve cloud prediction groups through the cross-model stacked
+        dispatch (DESIGN.md §12): same-shaped models' groups in one tick
+        coalesce into batched GEMM calls over stacked weights.  A pure
+        compute strategy — rankings are identical, confidences agree to
+        float round-off, and the report signature is bit-identical to
+        the per-model path (the differential fuzz harness compares
+        exactly).
     """
 
     def __init__(
@@ -115,8 +124,10 @@ class Fleet:
         registry_store: Optional[Dict[int, bytes]] = None,
         resilience: Optional[ResiliencePolicy] = None,
         resilience_stats: Optional[ResilienceStats] = None,
+        stacked: bool = False,
     ) -> None:
         self.pelican = pelican
+        self.stacked = stacked
         self._registry_store = registry_store
         self.resilience = resilience
         self.resilience_stats = (
@@ -216,6 +227,8 @@ class Fleet:
         with per-probe confidences and additionally mirrored into the
         report's adversary attribution overlay.
         """
+        if self.stacked:
+            return self._serve_stacked(requests)
         responses: List[Optional[QueryResponse]] = [None] * len(requests)
         for (user_id, _, k, is_probe), indices in group_requests(requests).items():
             user = self.pelican.users[user_id]
@@ -232,6 +245,108 @@ class Fleet:
                     )
                 self.report.batches += 1
                 self.report.queries += len(indices)
+        self._sync_network()
+        return [r for r in responses if r is not None]
+
+    def _serve_stacked(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """:meth:`serve` through the cross-model stacked dispatch (§12).
+
+        Three phases, each preserving one leg of the per-model path's
+        determinism contract:
+
+        1. **Resolve** every cloud group's model through the registry in
+           arrival order — the exact ``get`` sequence of the per-model
+           loop, so LRU order, hits/cold-loads/evictions (and a flaky
+           registry's own draw sequence) are bit-identical.
+        2. **Compute** all stackable prediction groups in one
+           :func:`~repro.pelican.dispatch.dispatch_stacked_tick` call.
+           Probes never stack (isolation contract, §10); local, reference
+           -backend, and partnerless-shape groups fall back below.
+        3. **Bill** in arrival order: every group books its compute,
+           pays its query exchange, and bumps ``batches``/``queries``
+           exactly where the per-model loop would have — channel float
+           accumulation order included — whether its answers came from
+           the stack or the per-model fallback.
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        groups = list(group_requests(requests).items())
+        users = [self.pelican.users[key[0]] for key, _ in groups]
+        models = [
+            self.registry.get(key[0])
+            if user.endpoint.mode == DeploymentMode.CLOUD
+            else None
+            for (key, _), user in zip(groups, users)
+        ]
+        candidates = [
+            (
+                pos,
+                (
+                    key[0],
+                    models[pos],
+                    [requests[i].history for i in indices],
+                    key[2],
+                ),
+            )
+            for pos, (key, indices) in enumerate(groups)
+            if not key[3] and models[pos] is not None
+        ]
+        stacked = dict(
+            zip(
+                (pos for pos, _ in candidates),
+                dispatch_stacked_tick(
+                    self.registry.stack_cache,
+                    self.pelican.spec,
+                    [group for _, group in candidates],
+                ),
+            )
+        )
+        for pos, ((user_id, _, k, is_probe), indices) in enumerate(groups):
+            user, model = users[pos], models[pos]
+            histories = [requests[i].history for i in indices]
+            if is_probe:
+                if model is not None:
+                    results, _ = serve_probe_group(
+                        model, self.pelican.spec, histories, self.report, user.endpoint
+                    )
+                else:
+                    results, _ = serve_probe_group(
+                        user.endpoint.predictor.model,
+                        self.pelican.spec,
+                        histories,
+                        self.report,
+                        user.endpoint,
+                        profile=self._profiles.get(user_id, self.device_profile),
+                    )
+                for i, confidences in zip(indices, results):
+                    responses[i] = probe_response(user_id, i, confidences)
+                continue
+            if stacked.get(pos) is not None:
+                results, compute = stacked[pos]
+                self.report.cloud_compute += compute
+                user.endpoint.record_query_exchange(len(histories))
+            elif model is not None:
+                # Per-model fallback with the phase-1 model: a second
+                # registry.get here would double-bump the books.
+                results, compute = dispatch_model_batch(
+                    model, self.pelican.spec, histories, k
+                )
+                self.report.cloud_compute += compute
+                user.endpoint.record_query_exchange(len(histories))
+            else:
+                with flop_counter() as counter:
+                    results = user.endpoint.top_k_batch(histories, k)
+                compute = ResourceReport.from_counter(counter)
+                self.report.device_compute += compute
+                profile = self._profiles.get(user_id, self.device_profile)
+                self.report.device_simulated_seconds += profile.simulated_seconds(
+                    compute.macs
+                )
+            for i, top in zip(indices, results):
+                responses[i] = QueryResponse(
+                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
+                )
+            self.report.batches += 1
+            self.report.queries += len(indices)
         self._sync_network()
         return [r for r in responses if r is not None]
 

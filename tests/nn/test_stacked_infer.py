@@ -1,0 +1,138 @@
+"""Stacked cross-model inference kernels vs the per-model fused path.
+
+The stacked kernels (DESIGN.md §12) serve M same-shaped models' query
+batches through one broadcast input projection and one batched recurrent
+GEMM per step.  They must be numerically interchangeable with running
+:func:`lstm_infer` / :func:`lstm_infer_last` once per model — same
+elementwise activation sequence, only BLAS blocking differs — across
+layer counts, heterogeneous per-layer sizes (the TL-FE surplus layer),
+dtypes, and zero-padded ragged batches.  And they must record *nothing*
+in the flop profiler: the dispatch layer books logical per-group MACs,
+so kernel-side recording would double-count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.fused import (
+    lstm_infer,
+    lstm_infer_last,
+    lstm_infer_stacked,
+    stacked_infer_last,
+)
+from repro.nn.profiler import flop_counter
+
+# Tight enough to catch any algorithmic divergence, loose enough for
+# GEMM-blocking round-off; float32 scaled accordingly.
+TOL = {"float64": dict(rtol=1e-9, atol=1e-12), "float32": dict(rtol=1e-4, atol=1e-6)}
+
+
+def _random_models(num_models, cell_sizes, dtype, seed):
+    """Per-model layer params plus their stacked-along-axis-0 form."""
+    rng = np.random.default_rng(seed)
+    per_model = []
+    for _ in range(num_models):
+        layers = []
+        for f, h in cell_sizes:
+            layers.append(
+                (
+                    rng.normal(scale=0.5, size=(f, 4 * h)).astype(dtype),
+                    rng.normal(scale=0.5, size=(h, 4 * h)).astype(dtype),
+                    rng.normal(scale=0.5, size=(4 * h,)).astype(dtype),
+                )
+            )
+        per_model.append(layers)
+    stacked = [
+        tuple(np.stack([model[layer][part] for model in per_model]) for part in range(3))
+        for layer in range(len(cell_sizes))
+    ]
+    return per_model, stacked
+
+
+# (models, batch, seq, [(input, hidden) per layer])
+CASES = [
+    (1, 2, 3, [(5, 4)]),
+    (3, 2, 4, [(6, 8), (8, 8)]),
+    (4, 1, 1, [(7, 5)]),  # single-step: the t==0-only path
+    (2, 3, 5, [(6, 8), (8, 5), (5, 4)]),  # shrinking stack, 3 layers
+    (5, 2, 2, [(94, 24), (24, 24)]),  # tiny-scale predictor shape
+]
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("case", CASES)
+class TestStackedPerModelParity:
+    def test_last_hidden_matches_per_model(self, case, dtype):
+        num_models, batch, seq, cell_sizes = case
+        per_model, stacked = _random_models(num_models, cell_sizes, dtype, seed=11)
+        x = (
+            np.random.default_rng(12)
+            .normal(size=(num_models, batch, seq, cell_sizes[0][0]))
+            .astype(dtype)
+        )
+        out = stacked_infer_last(x, stacked)
+        assert out.shape == (num_models, batch, cell_sizes[-1][1])
+        assert out.flags["C_CONTIGUOUS"]
+        for m, layers in enumerate(per_model):
+            np.testing.assert_allclose(
+                out[m], lstm_infer_last(x[m], layers), **TOL[dtype]
+            )
+
+    def test_full_sequence_matches_per_model(self, case, dtype):
+        num_models, batch, seq, cell_sizes = case
+        per_model, stacked = _random_models(num_models, cell_sizes, dtype, seed=21)
+        x = (
+            np.random.default_rng(22)
+            .normal(size=(num_models, batch, seq, cell_sizes[0][0]))
+            .astype(dtype)
+        )
+        out = lstm_infer_stacked(x, stacked)
+        assert out.shape == (num_models, batch, seq, cell_sizes[-1][1])
+        for m, layers in enumerate(per_model):
+            np.testing.assert_allclose(out[m], lstm_infer(x[m], layers), **TOL[dtype])
+
+
+class TestRaggedPadding:
+    def test_zero_padded_rows_do_not_pollute_real_rows(self):
+        """The kernels must tolerate zero-padded ragged batches: real
+        rows come out exactly as an unpadded per-model run produces
+        them.  (The dispatcher serves uniform-size sub-buckets and never
+        pads, but the kernel contract stays batch-shape agnostic.)"""
+        cell_sizes = [(6, 8), (8, 5)]
+        per_model, stacked = _random_models(3, cell_sizes, "float64", seed=31)
+        rng = np.random.default_rng(32)
+        sizes = [3, 1, 2]
+        widest = max(sizes)
+        x = np.zeros((3, widest, 4, cell_sizes[0][0]))
+        reals = [rng.normal(size=(size, 4, cell_sizes[0][0])) for size in sizes]
+        for m, real in enumerate(reals):
+            x[m, : sizes[m]] = real
+        out = stacked_infer_last(x, stacked)
+        for m, (size, layers) in enumerate(zip(sizes, per_model)):
+            np.testing.assert_allclose(
+                out[m, :size],
+                lstm_infer_last(reals[m], layers),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+        assert np.all(np.isfinite(out))  # pad rows stay finite too
+
+
+class TestProfilerNeutrality:
+    def test_stacked_kernels_record_no_macs(self):
+        """Stacked GEMMs serve many groups at once, so the kernels must
+        not touch the profiler — the dispatch layer books each group's
+        logical per-model MACs itself (DESIGN.md §12)."""
+        _, stacked = _random_models(2, [(5, 4)], "float64", seed=41)
+        x = np.random.default_rng(42).normal(size=(2, 3, 4, 5))
+        with flop_counter() as counter:
+            stacked_infer_last(x, stacked)
+            lstm_infer_stacked(x, stacked)
+        assert counter.macs == 0
+
+
+class TestInputValidation:
+    def test_rejects_non_4d_input(self):
+        _, stacked = _random_models(2, [(5, 4)], "float64", seed=51)
+        with pytest.raises(ValueError, match="models, batch, seq, features"):
+            stacked_infer_last(np.zeros((3, 4, 5)), stacked)

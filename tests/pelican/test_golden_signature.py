@@ -83,9 +83,9 @@ def _jsonable(signature):
     return json.loads(json.dumps(signature))  # tuples -> lists, exact floats
 
 
-def compute_golden():
+def compute_golden(stacked=False):
     corpus, pelican, splits = _canonical_pelican()
-    fleet = Fleet(pelican, registry_capacity=1)
+    fleet = Fleet(pelican, registry_capacity=1, stacked=stacked)
     fleet.run(_canonical_schedule(corpus, splits))
     return _jsonable(fleet.report.signature())
 
@@ -102,6 +102,22 @@ class TestGoldenSignature:
                 f"accounting drift in {field!r}: "
                 f"golden {golden[field]!r} != current {current[field]!r} "
                 "(if intentional, regenerate with REPRO_UPDATE_GOLDEN=1)"
+            )
+
+    def test_stacked_run_matches_committed_golden_unchanged(self):
+        """The stacked dispatch (DESIGN.md §12) must reproduce the
+        committed golden byte-for-byte — no regeneration allowed.  MACs
+        are booked at the per-model-equivalent integer rate, registry
+        resolution and channel billing run in the identical order, so if
+        this drifts the stacked path is billing differently, which is a
+        bug, never an intentional accounting change."""
+        current = compute_golden(stacked=True)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert set(current) == set(golden), "signature fields changed"
+        for field in golden:
+            assert current[field] == golden[field], (
+                f"stacked dispatch accounting drift in {field!r}: "
+                f"golden {golden[field]!r} != stacked {current[field]!r}"
             )
 
     def test_golden_run_exercises_every_cost_source(self):
