@@ -33,14 +33,16 @@ import sys
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 # The quick suite: nn micro-benchmarks, the fleet serving comparison, the
-# cluster shard-scaling comparison, the regimes x chaos scenario matrix,
-# the privacy-audit comparison, the resilience clean-path overhead gate,
-# and the cross-model stacked dispatch comparison (all run in seconds;
-# the experiment-regeneration targets need --full).
+# cluster shard-scaling comparison, the worker-pool parallel serving
+# comparison, the regimes x chaos scenario matrix, the privacy-audit
+# comparison, the resilience clean-path overhead gate, and the
+# cross-model stacked dispatch comparison (all run in seconds; the
+# experiment-regeneration targets need --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
     str(BENCH_DIR / "test_cluster_scaling.py"),
+    str(BENCH_DIR / "test_parallel_cluster.py"),
     str(BENCH_DIR / "test_scenario_matrix.py"),
     str(BENCH_DIR / "test_audit_matrix.py"),
     str(BENCH_DIR / "test_resilience_overhead.py"),

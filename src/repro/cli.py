@@ -6,7 +6,8 @@ Commands mirror the reproduction workflow:
 * ``demo``       — run the end-to-end train/personalize/attack/defend story;
 * ``experiment`` — regenerate one paper table/figure by id;
 * ``fleet``      — simulate fleet-scale serving: batched vs. looped queries,
-  on one cloud or a sharded cluster (``--shards``);
+  on one cloud or a sharded cluster (``--shards``), optionally scattered
+  onto worker processes (``--workers``);
 * ``scenarios``  — stress matrix: mobility regimes × chaos policies;
 * ``audit``      — privacy audit matrix: inversion adversaries attack the
   live deployment through the serving stack, across defenses and regimes;
@@ -200,9 +201,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers and args.shards == 1:
+        print("--workers requires --shards > 1 (nothing to scatter)", file=sys.stderr)
+        return 2
     scale = _SCALES[args.scale]()
     capacity = args.capacity if args.capacity > 0 else None
     shards = f", {args.shards} shards ({args.placement})" if args.shards > 1 else ""
+    if args.workers:
+        shards += f", {args.workers} workers"
     print(
         f"[fleet] building deployment at scale={args.scale} "
         f"({'fast setup, ' if args.fast else ''}"
@@ -219,6 +228,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         resilience=args.resilience,
         deadline=args.deadline,
         stacked=args.stacked,
+        workers=args.workers,
     )
     print(render_fleet(result))
     return 0 if result.parity else 1
@@ -377,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--placement", choices=sorted(PLACEMENT_POLICIES), default="hash",
         help="user->shard placement policy when --shards > 1 (default hash)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes serving the shards; 0 = in-process serial "
+        "(default 0, needs --shards > 1, answers are bit-identical)",
     )
     fleet.add_argument(
         "--fast", action="store_true",

@@ -69,6 +69,7 @@ class FleetWorkload:
     requests: List[QueryRequest]
     scale_name: str
     num_shards: int = 1
+    workers: int = 0
 
     @property
     def num_users(self) -> int:
@@ -89,6 +90,7 @@ class FleetThroughputResult:
     report: Union[FleetReport, ClusterReport]
     num_shards: int = 1
     stacked: bool = False
+    workers: int = 0
 
     @property
     def speedup(self) -> float:
@@ -110,6 +112,7 @@ def build_fleet_workload(
     placement: str = "hash",
     resilience: Optional[ResiliencePolicy] = None,
     stacked: bool = False,
+    workers: int = 0,
 ) -> FleetWorkload:
     """Stand up a fleet (or sharded cluster) at ``scale`` and derive its
     query workload.  ``resilience`` optionally attaches a fault-handling
@@ -127,13 +130,21 @@ def build_fleet_workload(
     ``num_shards > 1`` builds a :class:`~repro.pelican.cluster.Cluster`
     under the given ``placement`` policy instead of a single
     :class:`~repro.pelican.fleet.Fleet`; responses are bit-identical
-    either way (DESIGN.md §9), only the books shard.
+    either way (DESIGN.md §9), only the books shard.  ``workers > 0``
+    additionally serves the cluster's shards on that many worker
+    processes (DESIGN.md §13) — still bit-identical, and it needs
+    ``num_shards > 1`` to have anything to scatter.
 
     ``fast_setup`` cuts training to :data:`FAST_SETUP_EPOCHS` epochs:
     model *dimensions* (and therefore serving cost) still match the
     scale, but setup takes seconds instead of minutes.  Only serving
     results are meaningful under it.
     """
+    if workers and num_shards == 1:
+        raise ValueError(
+            "workers > 0 requires num_shards > 1: a single-fleet workload "
+            "has no shards to scatter onto worker processes"
+        )
     general, personalization = training_configs(scale, fast_setup)
     corpus = generate_corpus(scale.corpus)
     spec = corpus.spec(DEFAULT_LEVEL)
@@ -158,6 +169,7 @@ def build_fleet_workload(
             registry_capacity=registry_capacity,
             resilience=resilience,
             stacked=stacked,
+            workers=workers,
         )
     train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
     fleet.train_cloud(train)
@@ -175,7 +187,11 @@ def build_fleet_workload(
             window = holdout.windows[j % len(holdout.windows)]
             requests.append(QueryRequest(user_id=uid, history=tuple(window.history), k=k))
     return FleetWorkload(
-        fleet=fleet, requests=requests, scale_name=scale.name, num_shards=num_shards
+        fleet=fleet,
+        requests=requests,
+        scale_name=scale.name,
+        num_shards=num_shards,
+        workers=workers,
     )
 
 
@@ -217,6 +233,7 @@ def run_fleet_throughput(
     resilience: Optional[str] = None,
     deadline: Optional[float] = None,
     stacked: bool = False,
+    workers: int = 0,
 ) -> FleetThroughputResult:
     """Build a fleet at ``scale`` and compare both serving paths once."""
     res_policy = None
@@ -233,16 +250,21 @@ def run_fleet_throughput(
         placement=placement,
         resilience=res_policy,
         stacked=stacked,
+        workers=workers,
     )
     fleet, requests = workload.fleet, workload.requests
 
-    start = time.perf_counter()
-    looped = fleet.serve_looped(requests)
-    looped_seconds = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        looped = fleet.serve_looped(requests)
+        looped_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    batched = fleet.serve(requests)
-    batched_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = fleet.serve(requests)
+        batched_seconds = time.perf_counter() - start
+    finally:
+        if isinstance(fleet, Cluster):
+            fleet.close()
 
     return FleetThroughputResult(
         scale=workload.scale_name,
@@ -255,4 +277,5 @@ def run_fleet_throughput(
         report=fleet.report,
         num_shards=workload.num_shards,
         stacked=stacked,
+        workers=workers,
     )

@@ -233,6 +233,8 @@ def render_fleet(result: "FleetThroughputResult") -> str:
     """Fleet serving comparison rendering (DESIGN.md §7/§9)."""
     report = result.report
     shards = f" on {result.num_shards} shards" if result.num_shards > 1 else ""
+    if result.workers:
+        shards += f" x {result.workers} workers"
     shards += " (stacked dispatch)" if result.stacked else ""
     lines = [
         f"fleet @ {result.scale}: {result.num_users} users{shards}, "

@@ -146,6 +146,18 @@ class Cluster:
         (their registry resolution is interleaved with breaker and
         outage decisions), which is part of the §12 bypass list —
         answers and signatures are unchanged either way.
+    workers:
+        Number of persistent worker processes to scatter shard replay
+        onto (DESIGN.md §13).  ``0`` (the default) is byte-for-byte the
+        existing in-process serial path; ``N >= 1`` assigns shards
+        round-robin to ``min(N, num_shards)`` processes, each holding
+        its shards' full serving stacks, and merges every tick
+        deterministically — responses and ``totals_signature()`` are
+        bit-identical to the serial run at any worker count, under null
+        chaos and under shard-outage/failover chaos.  Does not compose
+        with a non-null resilience policy (breakers and the degradation
+        ladder read cross-shard state mid-tick); :meth:`close` stops the
+        processes.
     """
 
     def __init__(
@@ -160,9 +172,19 @@ class Cluster:
         policy: Optional[ChaosPolicy] = None,
         resilience: Optional[ResiliencePolicy] = None,
         stacked: bool = False,
+        workers: int = 0,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a cluster needs at least one shard")
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process serial serving)")
+        if workers and resilience is not None and not resilience.is_null:
+            raise ValueError(
+                "workers > 0 does not compose with a non-null resilience "
+                "policy: circuit breakers and the degradation ladder read "
+                "cross-shard state mid-tick (DESIGN.md §13); run resilient "
+                "clusters with workers=0"
+            )
         config = config or PelicanConfig()
         self.spec = spec
         self.config = config
@@ -234,6 +256,9 @@ class Cluster:
         )
         #: Current run's shard-outage windows (empty outside chaos runs).
         self._outages: Dict[int, List[Tuple[float, float]]] = {}
+        self.workers = workers
+        #: Lazily-created persistent worker pool (DESIGN.md §13).
+        self._pool: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -371,9 +396,17 @@ class Cluster:
         a later failover would serve a stale model.  The eviction is
         booked like any other (counter + log), keeping the invalidation
         visible and deterministic.
+
+        Only shards whose live cache actually holds a copy are touched
+        (residency probed through the accounting-free
+        :meth:`~repro.pelican.registry.ModelRegistry.peek`): the books
+        are identical to evicting everywhere — ``evict`` was already a
+        no-op on non-resident shards — but each onboard/update stops
+        paying an O(K) fan-out for the common case of zero foreign
+        copies.
         """
         for shard_id, shard in enumerate(self.shards):
-            if shard_id != home_id:
+            if shard_id != home_id and shard.registry.peek(user_id) is not None:
                 shard.registry.evict(user_id)
 
     # ------------------------------------------------------------------
@@ -386,12 +419,42 @@ class Cluster:
         serving the same requests on one fleet — routing moves whole
         users, and each shard batches its sub-list with the shared
         dispatcher, so every per-model group is the same either way.
+        With ``workers > 0`` the shard sub-batches run on the worker
+        processes (DESIGN.md §13); the merge is unchanged.
         """
+        pool = self._parallel()
+        if pool is not None:
+            with pool.session():
+                return pool.scatter(requests)
         return self._scatter(requests, lambda shard, sub: shard.serve(sub))
 
     def serve_looped(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
-        """Reference path: per-shard accounting-neutral one-by-one serving."""
+        """Reference path: per-shard accounting-neutral one-by-one serving.
+
+        Always in-process, even with ``workers > 0`` — it is the
+        executable specification the parallel path is compared against,
+        so it must not depend on the machinery it verifies.
+        """
         return self._scatter(requests, lambda shard, sub: shard.serve_looped(sub))
+
+    # ------------------------------------------------------------------
+    # Parallel workers (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _parallel(self):
+        """The lazily-started worker pool, or ``None`` when serial."""
+        if self.workers == 0:
+            return None
+        if self._pool is None:
+            from repro.pelican.parallel import ShardWorkerPool
+
+            self._pool = ShardWorkerPool(self)
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the worker processes (no-op when serial / never started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     def _scatter(self, requests, serve_one_shard) -> List[QueryResponse]:
         """Split requests by home shard, serve, and merge in request order.
@@ -405,8 +468,38 @@ class Cluster:
             served = serve_one_shard(
                 self.shards[shard_id], [requests[i] for i in indices]
             )
-            for i, response in zip(indices, served):
-                responses[i] = QueryResponse(
+            self._merge_shard(shard_id, indices, served, responses, renumber=True)
+        return [r for r in responses if r is not None]
+
+    def _merge_shard(
+        self,
+        shard_id: int,
+        indices: List[int],
+        served: Sequence[Optional[QueryResponse]],
+        responses: List[Optional[QueryResponse]],
+        renumber: bool = False,
+    ) -> None:
+        """Merge one shard's sub-batch back into the global response slots.
+
+        The single gather boundary of every scatter path (direct serving,
+        tick routing, failover, degradation, and the parallel workers'
+        merge): a shard must answer **one slot per request** — ``None``
+        marks a shed query — and anything else is misattribution waiting
+        to happen, so a length mismatch raises instead of silently
+        dropping or shifting answers onto the wrong requests (the old
+        positional ``zip`` did exactly that).
+        """
+        if len(served) != len(indices):
+            raise RuntimeError(
+                f"shard {shard_id} returned {len(served)} responses for "
+                f"{len(indices)} requests; every shard must return one "
+                "slot per request (None for shed queries)"
+            )
+        for i, response in zip(indices, served):
+            if response is None:
+                continue
+            if renumber:
+                response = QueryResponse(
                     user_id=response.user_id,
                     time=response.time,
                     seq=i,
@@ -414,7 +507,7 @@ class Cluster:
                     confidences=response.confidences,
                     degraded=response.degraded,
                 )
-        return [r for r in responses if r is not None]
+            responses[i] = response
 
     def _by_shard(
         self, requests: Sequence[QueryRequest]
@@ -440,9 +533,21 @@ class Cluster:
         K-vs-1 bit-parity tests compare.  Under a chaos policy the
         schedule is first perturbed (offline windows, stragglers, and
         shard-outage deferrals for onboards/updates); queries homed on a
-        downed shard are *not* deferred — they fail over.
+        downed shard are *not* deferred — they fail over.  With
+        ``workers > 0`` the prepared schedule replays on the worker pool
+        (DESIGN.md §13) — same clock, same routing decisions, same
+        responses and signature, bit-for-bit.
         """
         prepared = self._prepare(schedule)
+        pool = self._parallel()
+        if pool is not None:
+            with pool.session():
+                return replay_schedule(
+                    prepared,
+                    serve=pool.serve_tick,
+                    onboard=pool.onboard_event,
+                    update=pool.update_event,
+                )
         return replay_schedule(
             prepared,
             serve=self._serve_tick,
@@ -525,8 +630,7 @@ class Cluster:
                 served = self._serve_despite_outage(time, shard_id, sub)
             else:
                 served = self.shards[shard_id].serve(sub)
-            for i, response in zip(indices, served):
-                responses[i] = response
+            self._merge_shard(shard_id, indices, served, responses)
         return responses
 
     def _serve_despite_outage(
@@ -571,20 +675,18 @@ class Cluster:
                     self.resilience_stats.unprotected_outage_queries += 1
             by_fallback.setdefault(target, []).append(i)
         if local:
-            for i, response in zip(local, home.serve([requests[i] for i in local])):
-                responses[i] = response
+            served = home.serve([requests[i] for i in local])
+            self._merge_shard(home_id, local, served, responses)
         for fallback_id, indices in by_fallback.items():
             served = self._serve_failover(
                 home, self.shards[fallback_id], [requests[i] for i in indices]
             )
-            for i, response in zip(indices, served):
-                responses[i] = response
+            self._merge_shard(fallback_id, indices, served, responses)
         if degraded:
             served = self._serve_degraded(
                 home, [requests[i] for i in degraded]
             )
-            for i, response in zip(degraded, served):
-                responses[i] = response
+            self._merge_shard(home_id, degraded, served, responses)
         return responses
 
     def _failover_target(
@@ -684,7 +786,7 @@ class Cluster:
                     user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
                 )
         fallback._sync_network()
-        return [r for r in responses if r is not None]
+        return responses
 
     def _serve_degraded(
         self, home: Fleet, requests: List[QueryRequest]

@@ -94,6 +94,30 @@ class QueryStats:
     simulated_network_seconds: float = 0.0
 
 
+def account_query_exchange(
+    stats: QueryStats, count: int, channel: Optional[Channel], label: str = "query"
+) -> float:
+    """Book ``count`` query exchanges into ``stats`` over ``channel``.
+
+    The single definition of what one query exchange costs: a counter
+    bump plus — when a channel carries the traffic — one coalesced
+    context-upload and result-download per direction.
+    :meth:`ServiceEndpoint.record_query_exchange` delegates here; the
+    parallel cluster's workers (DESIGN.md §13) call it directly with a
+    scratch ``QueryStats`` when the home endpoint lives in another
+    process, so both sides book bit-identically.  Returns the simulated
+    network seconds added.
+    """
+    stats.queries += count
+    if channel is None or count == 0:
+        return 0.0
+    seconds = channel.bulk_upload(
+        QUERY_PAYLOAD_BYTES, count, label=f"{label}-context"
+    ) + channel.bulk_download(QUERY_PAYLOAD_BYTES, count, label=f"{label}-result")
+    stats.simulated_network_seconds += seconds
+    return seconds
+
+
 class ServiceEndpoint:
     """The query interface a mobile service sees for one user's model."""
 
@@ -136,17 +160,12 @@ class ServiceEndpoint:
         traffic) and its own ``label``.  Returns the simulated network
         seconds added.
         """
-        self.stats.queries += count
-        channel = channel if channel is not None else self.channel
-        if channel is None or count == 0:
-            return 0.0
-        seconds = channel.bulk_upload(
-            QUERY_PAYLOAD_BYTES, count, label=f"{label}-context"
-        ) + channel.bulk_download(
-            QUERY_PAYLOAD_BYTES, count, label=f"{label}-result"
+        return account_query_exchange(
+            self.stats,
+            count,
+            channel if channel is not None else self.channel,
+            label,
         )
-        self.stats.simulated_network_seconds += seconds
-        return seconds
 
     def top_k_batch(
         self, histories: Sequence[Sequence[SessionFeatures]], k: int

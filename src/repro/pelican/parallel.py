@@ -1,0 +1,776 @@
+"""Parallel cluster serving: scatter-gather shard replay onto persistent
+worker processes (DESIGN.md §13).
+
+A :class:`~repro.pelican.cluster.Cluster` executes its shards serially in
+one process; this module puts each shard's full serving stack — its
+``Fleet`` with Pelican, channel, registry, and chaos state — on a
+persistent worker process and drives ticks over pipes, while the parent
+keeps everything cluster-scoped: placement, outage windows, the
+authoritative durable blob store, and the cluster-level chaos book.
+
+**Determinism contract.**  A ``workers=N`` run reproduces the serial
+run's responses and ``totals_signature()`` bit-for-bit, at any worker
+count, under null chaos and under shard-outage/failover chaos:
+
+* Shard state travels by pickle, which round-trips floats and numpy
+  arrays exactly, and every shard keeps the derived seeds it was built
+  with (``shard_policy`` stream-6 seeds included) — nothing reseeds from
+  pids, time, or worker identity.
+* Each worker processes its pipe FIFO, and the parent sends commands in
+  exactly the serial iteration order, so every per-shard operation
+  sequence — registry LRU order, flaky-registry fetch counters, channel
+  draw indices, float accumulation order — is the serial one.
+* Cross-shard work (failover) is split at the accounting boundary: the
+  fallback worker serves, bills its own channel/report, and returns the
+  home endpoints' ``(queries, seconds)`` deltas; the parent forwards
+  them to the home worker in serial group order.  The two shards'
+  mutations are disjoint, so applying the home-side bill after the tick
+  gather leaves every float accumulator bit-identical to the serial
+  interleaving.
+* Blob-store writes (onboard/update) return the serialized checkpoint to
+  the parent, which owns the authoritative store and pushes fresh blobs
+  to a worker only when a failover actually needs them there.
+
+**Shipping cost.**  The bulk of a shard's pickled weight barely changes
+between sessions, so both sides keep replicas and only deltas travel:
+
+* The durable blob store and the post-training cloud (trained general
+  model + published checkpoint) are immutable or parent-owned; workers
+  hold persistent replicas and ``init`` ships only the *store delta*
+  (blobs whose bytes differ from the worker's replica) plus, once per
+  pool lifetime, the static cloud state.
+* Per-user device state (``endpoint.predictor``, ``local_dataset``)
+  changes only when the user is (re)deployed — batched serving reads
+  model weights without mutating them.  Each side ships a user's
+  objects only when they were replaced since the other side last saw
+  them: the parent tracks replacement by object identity (its objects
+  persist across sessions), the worker by the onboard/update commands
+  it executed.
+* Registry live models never travel at all: a live entry rebuilds
+  bit-identically from its durable blob (the registry's documented
+  cold-load contract), so pickles carry only the LRU *order* and each
+  side rehydrates from its own store — from a replica cache when the
+  blob is unchanged, via ``rebuild_personal_model`` otherwise.
+
+Every replica is content-identical to the serial objects at each
+session boundary, so parity is unaffected — only the megabytes moved.
+
+The pool does not compose with a non-null resilience policy: breakers
+and the degradation ladder read cross-shard registry state mid-tick,
+which has no deterministic decomposition onto isolated workers —
+``Cluster`` rejects the combination up front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.pelican.clock import FleetEvent, QueryRequest, QueryResponse
+from repro.pelican.deployment import (
+    DeploymentMode,
+    QueryStats,
+    account_query_exchange,
+    rebuild_personal_model,
+)
+from repro.pelican.dispatch import (
+    ProbePayload,
+    dispatch_model_batch,
+    group_requests,
+    probe_response,
+    serve_probe_group,
+)
+from repro.pelican.fleet import Fleet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pelican.cluster import Cluster
+
+__all__ = ["ShardWorkerPool", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``.
+
+    Both are bit-identical — all shard state travels over the pipe by
+    pickle either way, so a forked worker inherits nothing it uses — but
+    fork starts in milliseconds while spawn re-imports the world.
+    ``REPRO_PARALLEL_START`` overrides (the spawn parity test uses it).
+    """
+    override = os.environ.get("REPRO_PARALLEL_START")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _WorkerFailure:
+    """An exception shipped back over the pipe instead of a result."""
+
+    def __init__(self, message: str, trace: str) -> None:
+        self.message = message
+        self.trace = trace
+
+
+def _check(result: Any) -> Any:
+    if isinstance(result, _WorkerFailure):
+        raise RuntimeError(
+            f"shard worker failed: {result.message}\n{result.trace}"
+        )
+    return result
+
+
+class _RemoteEndpointBill:
+    """Billing stand-in for a home endpoint owned by another worker.
+
+    Exposes exactly the single accounting boundary
+    (:meth:`~repro.pelican.deployment.ServiceEndpoint.record_query_exchange`)
+    over a scratch :class:`~repro.pelican.deployment.QueryStats`: the
+    fallback worker books the channel side for real and captures the
+    endpoint-side deltas here, to be replayed onto the true endpoint by
+    its own worker.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats = QueryStats()
+
+    def record_query_exchange(
+        self, count: int, channel: Any = None, label: str = "query"
+    ) -> float:
+        return account_query_exchange(self.stats, count, channel, label)
+
+
+def _failover_serve(
+    fallback: Fleet, requests: List[QueryRequest]
+) -> Tuple[List[Optional[QueryResponse]], List[Tuple[int, int, float]], int]:
+    """The fallback-shard half of ``Cluster._serve_failover``.
+
+    Identical group loop, registry resolution, channel billing, and
+    report accumulation — but the home endpoints live in another
+    process, so their ``(user, queries, seconds)`` deltas are captured
+    per group (serial group order) and returned for the parent to route
+    home.  Returns ``(responses, endpoint bills, failover query count)``.
+    """
+    responses: List[Optional[QueryResponse]] = [None] * len(requests)
+    bills: List[Tuple[int, int, float]] = []
+    failover_queries = 0
+    for (user_id, _, k, is_probe), indices in group_requests(requests).items():
+        model = fallback.registry.get(user_id)
+        histories = [requests[i].history for i in indices]
+        endpoint = _RemoteEndpointBill()
+        if is_probe:
+            results, num_probes = serve_probe_group(
+                model,
+                fallback.pelican.spec,
+                histories,
+                fallback.report,
+                endpoint,
+                channel=fallback.pelican.channel,
+                label="failover-probe",
+            )
+            failover_queries += num_probes
+            for i, confidences in zip(indices, results):
+                responses[i] = probe_response(user_id, i, confidences)
+        else:
+            results, report = dispatch_model_batch(
+                model, fallback.pelican.spec, histories, k
+            )
+            fallback.report.cloud_compute += report
+            endpoint.record_query_exchange(
+                len(indices),
+                channel=fallback.pelican.channel,
+                label="failover-query",
+            )
+            fallback.report.batches += 1
+            fallback.report.queries += len(indices)
+            failover_queries += len(indices)
+            for i, top in zip(indices, results):
+                responses[i] = QueryResponse(
+                    user_id=user_id, time=0.0, seq=i, top_k=tuple(top)
+                )
+        bills.append(
+            (user_id, endpoint.stats.queries, endpoint.stats.simulated_network_seconds)
+        )
+    fallback._sync_network()
+    return responses, bills, failover_queries
+
+
+class _WorkerState:
+    """Everything one worker process keeps alive across sessions.
+
+    ``shards`` holds the current session's fleets; the rest are the
+    session-spanning replicas the shipping protocol strips from pickles:
+    ``store`` mirrors the cluster's durable blob store (brought current
+    by each init's delta), ``static`` each shard's immutable
+    post-training cloud, ``devices`` each user's device-side objects
+    (predictor + local dataset, replaced only by onboard/update), and
+    ``models`` the rehydrated live registry models keyed by user.
+    ``dirty`` collects the users this session (re)deployed, whose fresh
+    device objects must ship back in the dump.
+    """
+
+    def __init__(self) -> None:
+        self.shards: Dict[int, Fleet] = {}
+        self.store: Dict[int, bytes] = {}
+        self.static: Dict[int, Tuple[Any, Optional[bytes]]] = {}
+        self.devices: Dict[int, Tuple[Any, Any]] = {}
+        self.models: Dict[int, Any] = {}
+        self.dirty: Set[int] = set()
+
+
+def _strip_for_pickle(
+    shards: Dict[int, Fleet], ship_user: Callable[[int], bool]
+) -> List[Tuple[Any, str, Any]]:
+    """Detach everything the other side can reconstruct, so a pickle
+    carries only per-session serving state: the cloud and blob store
+    (replicated), every registry's live models (``_live`` keeps its LRU
+    *order*, values rebuild from blobs), and — unless ``ship_user`` says
+    the user was replaced — each user's device objects.  Returns the
+    stash for :func:`_restore_after_pickle`; always pair the two in
+    ``try``/``finally`` — the fleets are live objects on both sides."""
+    stash: List[Tuple[Any, str, Any]] = []
+
+    def strip(obj: Any, attr: str, replacement: Any) -> None:
+        stash.append((obj, attr, getattr(obj, attr)))
+        setattr(obj, attr, replacement)
+
+    for fleet in shards.values():
+        pelican = fleet.pelican
+        strip(pelican, "cloud", None)
+        strip(pelican, "_general_blob", None)
+        strip(fleet.registry, "_blobs", {})
+        strip(fleet, "_registry_store", None)
+        strip(
+            fleet.registry,
+            "_live",
+            OrderedDict((user_id, None) for user_id in fleet.registry._live),
+        )
+        for user_id, slot in pelican.users.items():
+            if not ship_user(user_id):
+                strip(slot.endpoint, "predictor", None)
+                strip(slot, "local_dataset", None)
+    return stash
+
+
+def _restore_after_pickle(stash: List[Tuple[Any, str, Any]]) -> None:
+    for obj, attr, value in reversed(stash):
+        setattr(obj, attr, value)
+
+
+def _rehydrate_live(
+    registry: Any, store: Dict[int, bytes], models: Dict[int, Any]
+) -> None:
+    """Fill a shipped registry's ``_live`` placeholders back in, in the
+    shipped LRU order: from the ``models`` replica when present, else by
+    the registry's own cold-load deserializer — bit-identical by the
+    rebuild contract, and unbooked (this is transport plumbing, not a
+    served cold load)."""
+    live = registry._live
+    for user_id in live:
+        model = models.get(user_id)
+        if model is None:
+            model = rebuild_personal_model(
+                store[user_id], np.random.default_rng(registry.seed + user_id)
+            )
+            models[user_id] = model
+        live[user_id] = model
+
+
+def _handle(state: _WorkerState, command: Tuple) -> Any:
+    """Execute one parent command against this worker's shards."""
+    kind = command[0]
+    shards = state.shards
+    if kind == "serve":
+        _, shard_id, requests = command
+        return shards[shard_id].serve(requests)
+    if kind == "failover":
+        _, shard_id, requests, blobs = command
+        fallback = shards[shard_id]
+        # Fresh checkpoints this worker's store replica is missing —
+        # pushed lazily by the parent, only when a failover needs them.
+        # ``registry._blobs`` *is* ``state.store`` here, so the push
+        # updates the persistent replica too; any model replica built
+        # from the superseded bytes must go with it.
+        fallback.registry._blobs.update(blobs)
+        for user_id in blobs:
+            state.models.pop(user_id, None)
+        return _failover_serve(fallback, requests)
+    if kind == "bill":
+        _, shard_id, bills = command
+        pelican = shards[shard_id].pelican
+        for user_id, queries, seconds in bills:
+            stats = pelican.users[user_id].endpoint.stats
+            stats.queries += queries
+            stats.simulated_network_seconds += seconds
+        return "ok"
+    if kind == "evict":
+        _, shard_id, user_id = command
+        return shards[shard_id].registry.evict(user_id)
+    if kind == "onboard":
+        _, shard_id, user_id, dataset, options = command
+        user = shards[shard_id].onboard(user_id, dataset, **options)
+        state.dirty.add(user_id)
+        return _deploy_summary(shards[shard_id], user_id, user)
+    if kind == "update":
+        _, shard_id, user_id, dataset = command
+        user = shards[shard_id].update(user_id, dataset)
+        state.dirty.add(user_id)
+        return _deploy_summary(shards[shard_id], user_id, user)
+    if kind == "init":
+        _, new_shards, statics, store_delta = command
+        state.static.update(statics)
+        state.store.update(store_delta)
+        # A delta entry means the parent's blob changed since this
+        # worker last held it — any model rehydrated from the old bytes
+        # is superseded.
+        for user_id in store_delta:
+            state.models.pop(user_id, None)
+        state.dirty.clear()
+        shards.clear()
+        shards.update(new_shards)
+        for shard_id, fleet in shards.items():
+            cloud, general_blob = state.static[shard_id]
+            fleet.pelican.cloud = cloud
+            fleet.pelican._general_blob = general_blob
+            fleet.registry._blobs = state.store
+            fleet._registry_store = state.store
+            for user_id, slot in fleet.pelican.users.items():
+                if slot.endpoint.predictor is None:
+                    predictor, local_dataset = state.devices[user_id]
+                    slot.endpoint.predictor = predictor
+                    slot.local_dataset = local_dataset
+                else:  # replaced since this worker last saw the user
+                    state.devices[user_id] = (
+                        slot.endpoint.predictor, slot.local_dataset
+                    )
+            _rehydrate_live(fleet.registry, state.store, state.models)
+        return "ok"
+    if kind == "dump":
+        # Re-sync the replicas from the session's final state (live sets
+        # shrink under LRU churn; device objects change on redeploy),
+        # then pickle here (not in conn.send) so the strip/restore
+        # brackets the serialization — the parent re-attaches its own
+        # copies of everything stripped.
+        state.models = {}
+        for fleet in shards.values():
+            state.models.update(fleet.registry._live)
+            for user_id, slot in fleet.pelican.users.items():
+                state.devices[user_id] = (slot.endpoint.predictor, slot.local_dataset)
+        stash = _strip_for_pickle(shards, lambda user_id: user_id in state.dirty)
+        try:
+            return pickle.dumps(dict(shards), protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            _restore_after_pickle(stash)
+    raise ValueError(f"unknown worker command {kind!r}")
+
+
+def _deploy_summary(
+    shard: Fleet, user_id: int, user: Any
+) -> Tuple[DeploymentMode, Optional[bytes]]:
+    """What the parent needs from a worker-side onboard/update: the
+    deployment mode (outage routing) and, for cloud deployments, the
+    fresh checkpoint blob (authoritative-store delta)."""
+    mode = user.endpoint.mode
+    blob = shard.registry._blobs.get(user_id) if mode == DeploymentMode.CLOUD else None
+    return mode, blob
+
+
+def _worker_main(conn) -> None:
+    """Worker process command loop: recv, execute, reply, FIFO forever.
+
+    The strict one-reply-per-command discipline over one pipe is the
+    backbone of the determinism argument — each worker's operation order
+    is exactly the order the parent sent, which is exactly the serial
+    iteration order.
+    """
+    state = _WorkerState()
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        if command[0] == "stop":
+            conn.send("ok")
+            break
+        try:
+            result = _handle(state, command)
+        except BaseException as exc:  # ship, don't die: parent re-raises
+            conn.send(_WorkerFailure(repr(exc), traceback.format_exc()))
+        else:
+            conn.send(result)
+    conn.close()
+
+
+class ShardWorkerPool:
+    """Persistent worker processes serving a cluster's shards.
+
+    Created lazily by :class:`~repro.pelican.cluster.Cluster` when
+    ``workers > 0``; shards are assigned round-robin to
+    ``min(workers, num_shards)`` processes.  Work happens inside a
+    :meth:`session`: shard serving state is shipped to the workers (the
+    session-invariant heavyweights — blob store, trained cloud — stay
+    on worker-side replicas and only deltas travel), commands are
+    scattered per tick, and on exit the fleets are pulled back and
+    swapped into the cluster, so the parent is authoritative again
+    between public calls — ``signature()``, ``merged_chaos()``, and the
+    golden tests read parent state only.
+    """
+
+    def __init__(self, cluster: "Cluster", start_method: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.num_workers = min(cluster.workers, cluster.num_shards)
+        self.start_method = start_method or default_start_method()
+        context = multiprocessing.get_context(self.start_method)
+        self._conns = []
+        self._processes = []
+        for index in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-shard-worker-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        self._stale: List[Set[int]] = [set() for _ in range(self.num_workers)]
+        self._modes: Dict[int, DeploymentMode] = {}
+        self._foreign_live: Dict[int, Set[int]] = {}
+        # Parent's view of each worker's persistent blob-store replica
+        # (content, not identity: worker-side registrations produce
+        # equal-but-distinct bytes) — drives the per-session store delta.
+        self._replica: List[Dict[int, bytes]] = [{} for _ in range(self.num_workers)]
+        # Which (cloud, general blob) pair each worker already holds per
+        # shard, compared by identity — both are immutable after
+        # ``initial_training``, so one ship per pool lifetime suffices.
+        self._static_sent: List[Dict[int, Tuple[Any, Optional[bytes]]]] = [
+            {} for _ in range(self.num_workers)
+        ]
+        # The parent-side originals stripped during the current session's
+        # ship, re-attached to the dumped fleets at collect.
+        self._session_static: Dict[int, Tuple[Any, Optional[bytes]]] = {}
+        # Per-user device objects (predictor, local dataset) as the home
+        # worker last saw them, compared by identity — the parent's
+        # objects persist across sessions, and every replacement path
+        # (parent-side onboard/update between sessions, worker-side
+        # deploys adopted at collect) swaps in new objects.
+        self._user_state: Dict[int, Tuple[Any, Any]] = {}
+        # Parent-side rehydration cache for registry live models:
+        # user -> (blob the model was rebuilt from, model).  Keyed by
+        # blob identity — ``cluster.store`` values are replaced, never
+        # mutated, so an identical object means an identical model.
+        self._model_cache: Dict[int, Tuple[bytes, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def owner(self, shard_id: int) -> int:
+        """The worker index hosting ``shard_id`` (round-robin)."""
+        return shard_id % self.num_workers
+
+    @contextmanager
+    def session(self):
+        """Ship shard state out, yield for scattered work, pull it back."""
+        self._ship()
+        try:
+            yield self
+        finally:
+            self._collect()
+
+    def _ship(self) -> None:
+        cluster = self.cluster
+        by_worker: List[Dict[int, Fleet]] = [{} for _ in range(self.num_workers)]
+        for shard_id, shard in enumerate(cluster.shards):
+            by_worker[self.owner(shard_id)][shard_id] = shard
+        self._session_static = {}
+        for worker, (conn, shards) in enumerate(zip(self._conns, by_worker)):
+            replica = self._replica[worker]
+            delta: Dict[int, bytes] = {}
+            for user_id, blob in cluster.store.items():
+                held = replica.get(user_id)
+                if held is not blob and held != blob:
+                    delta[user_id] = blob
+            statics: Dict[int, Tuple[Any, Optional[bytes]]] = {}
+            sent = self._static_sent[worker]
+            ship_users: Set[int] = set()
+            for shard_id, fleet in shards.items():
+                static = (fleet.pelican.cloud, fleet.pelican._general_blob)
+                self._session_static[shard_id] = static
+                held_static = sent.get(shard_id)
+                if (
+                    held_static is None
+                    or held_static[0] is not static[0]
+                    or held_static[1] is not static[1]
+                ):
+                    statics[shard_id] = static
+                    sent[shard_id] = static
+                for user_id, slot in fleet.pelican.users.items():
+                    devices = (slot.endpoint.predictor, slot.local_dataset)
+                    held = self._user_state.get(user_id)
+                    if (
+                        held is None
+                        or held[0] is not devices[0]
+                        or held[1] is not devices[1]
+                    ):
+                        ship_users.add(user_id)
+                        self._user_state[user_id] = devices
+            stash = _strip_for_pickle(shards, lambda user_id: user_id in ship_users)
+            try:
+                payload = pickle.dumps(
+                    ("init", shards, statics, delta),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            finally:
+                _restore_after_pickle(stash)
+            conn.send_bytes(payload)
+            replica.update(delta)
+        for conn in self._conns:
+            _check(conn.recv())
+        # Every worker's replica is brought up to the authoritative store
+        # by the init delta, so nothing is stale until the first
+        # worker-side (re)deploy of this session.
+        self._stale = [set() for _ in range(self.num_workers)]
+        self._modes = {
+            user_id: user.endpoint.mode for user_id, user in cluster.users.items()
+        }
+        # Exact foreign residency at session start; maintained as a
+        # superset during the session (LRU churn on a worker can only
+        # shrink true residency, and evict no-ops on non-residents).
+        self._foreign_live = {}
+        for shard_id, shard in enumerate(cluster.shards):
+            for user_id in shard.registry.resident_ids:
+                if cluster.placement.shard_for(user_id) != shard_id:
+                    self._foreign_live.setdefault(user_id, set()).add(shard_id)
+
+    def _collect(self) -> None:
+        cluster = self.cluster
+        for conn in self._conns:
+            conn.send(("dump",))
+        dumped: Dict[int, Fleet] = {}
+        for conn in self._conns:
+            dumped.update(pickle.loads(_check(conn.recv())))
+        for shard_id, fleet in dumped.items():
+            # Re-attach the parent-side originals the ship stripped: the
+            # shared cloud/general blob (same objects, so cross-shard
+            # sharing survives), the authoritative store
+            # (content-identical: all deltas flowed through the parent),
+            # and the shared resilience book.
+            cloud, general_blob = self._session_static[shard_id]
+            fleet.pelican.cloud = cloud
+            fleet.pelican._general_blob = general_blob
+            fleet.registry._blobs = cluster.store
+            fleet._registry_store = cluster.store
+            fleet.resilience_stats = cluster.resilience_stats
+            # Device objects: the parent's own copies for untouched
+            # users, the worker's fresh ones (shipped in the dump) for
+            # users the session (re)deployed.
+            for user_id, slot in fleet.pelican.users.items():
+                if slot.endpoint.predictor is None:
+                    predictor, local_dataset = self._user_state[user_id]
+                    slot.endpoint.predictor = predictor
+                    slot.local_dataset = local_dataset
+                else:
+                    self._user_state[user_id] = (
+                        slot.endpoint.predictor, slot.local_dataset
+                    )
+            # Live registry models: rehydrate each shipped LRU slot from
+            # the authoritative blob, reusing the cached rebuild when
+            # the blob object is unchanged.
+            live = fleet.registry._live
+            for user_id in live:
+                blob = cluster.store[user_id]
+                cached = self._model_cache.get(user_id)
+                if cached is None or cached[0] is not blob:
+                    model = rebuild_personal_model(
+                        blob,
+                        np.random.default_rng(fleet.registry.seed + user_id),
+                    )
+                    self._model_cache[user_id] = (blob, model)
+                else:
+                    model = cached[1]
+                live[user_id] = model
+            cluster.shards[shard_id] = fleet
+        cluster.report.shard_reports = [shard.report for shard in cluster.shards]
+
+    def shutdown(self) -> None:
+        """Stop the worker processes; safe to call more than once."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._conns = []
+        self._processes = []
+
+    # ------------------------------------------------------------------
+    # Scattered serving
+    # ------------------------------------------------------------------
+    def _send(self, shard_id: int, command: Tuple) -> Any:
+        self._conns[self.owner(shard_id)].send(command)
+
+    def _recv(self, shard_id: int) -> Any:
+        return _check(self._conns[self.owner(shard_id)].recv())
+
+    def scatter(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        """Parallel ``Cluster.serve``: all shards' sub-batches in flight
+        at once, merged through the shared one-slot-per-request gather."""
+        cluster = self.cluster
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        order = list(cluster._by_shard(requests).items())
+        for shard_id, indices in order:
+            self._send(shard_id, ("serve", shard_id, [requests[i] for i in indices]))
+        for shard_id, indices in order:
+            served = self._recv(shard_id)
+            cluster._merge_shard(shard_id, indices, served, responses, renumber=True)
+        return [r for r in responses if r is not None]
+
+    def serve_tick(
+        self, time: float, requests: List[QueryRequest]
+    ) -> List[Optional[QueryResponse]]:
+        """One coalesced clock tick on the pool — ``Cluster._serve_tick``
+        with the same routing decisions but scattered execution.
+
+        Three phases: (A) route every shard's sub-batch and send its
+        commands in serial iteration order — alive shards serve, downed
+        shards split into device-local serving on the home worker plus
+        per-fallback failover commands; (B) gather replies in send
+        order; (C) forward the failover bills to the home workers.  The
+        per-worker FIFO plus the disjointness of the deferred bills make
+        the final state bit-identical to the serial tick (DESIGN.md §13).
+        """
+        cluster = self.cluster
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        sends: List[Tuple[str, int, int, List[int]]] = []
+        for shard_id, indices in cluster._by_shard(requests).items():
+            if not cluster._down(shard_id, time):
+                sub = [requests[i] for i in indices]
+                self._send(shard_id, ("serve", shard_id, sub))
+                sends.append(("serve", shard_id, shard_id, indices))
+                continue
+            # Outage split, mirroring Cluster._serve_despite_outage
+            # (no breakers, no ladder: workers require null resilience).
+            local: List[int] = []
+            by_fallback: "OrderedDict[int, List[int]]" = OrderedDict()
+            for i in indices:
+                request = requests[i]
+                if self._modes[request.user_id] != DeploymentMode.CLOUD:
+                    local.append(i)
+                    continue
+                target = cluster._failover_target(request.user_id, shard_id, time)
+                if target is None:
+                    # Full-cluster outage: the legacy serve-on-downed-home
+                    # path, counted exactly like the serial tick.
+                    target = shard_id
+                    if not isinstance(request.history, ProbePayload):
+                        cluster.resilience_stats.unprotected_outage_queries += 1
+                else:
+                    self._foreign_live.setdefault(request.user_id, set()).add(target)
+                by_fallback.setdefault(target, []).append(i)
+            if local:
+                self._send(
+                    shard_id, ("serve", shard_id, [requests[i] for i in local])
+                )
+                sends.append(("serve", shard_id, shard_id, local))
+            for fallback_id, fallback_indices in by_fallback.items():
+                users = {requests[i].user_id for i in fallback_indices}
+                worker = self.owner(fallback_id)
+                blobs = {
+                    user_id: cluster.store[user_id]
+                    for user_id in sorted(users)
+                    if user_id in self._stale[worker]
+                }
+                self._stale[worker] -= users
+                self._replica[worker].update(blobs)
+                self._send(
+                    fallback_id,
+                    (
+                        "failover",
+                        fallback_id,
+                        [requests[i] for i in fallback_indices],
+                        blobs,
+                    ),
+                )
+                sends.append(("failover", fallback_id, shard_id, fallback_indices))
+        pending_bills: List[Tuple[int, List[Tuple[int, int, float]]]] = []
+        for kind, served_id, home_id, indices in sends:
+            result = self._recv(served_id)
+            if kind == "serve":
+                served = result
+            else:
+                served, bills, failover_queries = result
+                cluster.chaos.failover_queries += failover_queries
+                if bills:
+                    pending_bills.append((home_id, bills))
+            cluster._merge_shard(served_id, indices, served, responses)
+        for home_id, bills in pending_bills:
+            self._send(home_id, ("bill", home_id, bills))
+        for home_id, _ in pending_bills:
+            self._recv(home_id)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Lifecycle events (during a session)
+    # ------------------------------------------------------------------
+    def onboard_event(self, event: FleetEvent) -> None:
+        home_id = self.cluster.placement.shard_for(event.user_id)
+        self._send(
+            home_id,
+            ("onboard", home_id, event.user_id, event.payload, dict(event.options)),
+        )
+        mode, blob = self._recv(home_id)
+        self._register_deploy(event.user_id, home_id, mode, blob)
+
+    def update_event(self, event: FleetEvent) -> None:
+        home_id = self.cluster.placement.shard_for(event.user_id)
+        self._send(home_id, ("update", home_id, event.user_id, event.payload))
+        mode, blob = self._recv(home_id)
+        self._register_deploy(event.user_id, home_id, mode, blob)
+
+    def _register_deploy(
+        self,
+        user_id: int,
+        home_id: int,
+        mode: DeploymentMode,
+        blob: Optional[bytes],
+    ) -> None:
+        """Parent-side bookkeeping after a worker (re)deployed a model:
+        authoritative-store delta, staleness marks for the other workers'
+        store replicas, and the targeted cross-shard invalidation."""
+        cluster = self.cluster
+        self._modes[user_id] = mode
+        if blob is not None:
+            cluster.store[user_id] = blob
+            home_worker = self.owner(home_id)
+            for worker in range(self.num_workers):
+                if worker != home_worker:
+                    self._stale[worker].add(user_id)
+            # Shards co-hosted with the home shard share its store
+            # replica, so the home worker is fresh by construction —
+            # its replica holds these exact bytes (it produced them).
+            self._stale[home_worker].discard(user_id)
+            self._replica[home_worker][user_id] = blob
+        # Targeted invalidation (the serial _invalidate_elsewhere
+        # contract): only shards a failover may have left a live copy
+        # on are probed, and evict books only when the copy is still
+        # resident — bit-identical eviction logs either way.
+        for shard_id in sorted(self._foreign_live.pop(user_id, set())):
+            if shard_id != home_id:
+                self._send(shard_id, ("evict", shard_id, user_id))
+                self._recv(shard_id)

@@ -30,7 +30,12 @@ fleet layer advertises:
   per-model path (confidences to 1e-9 relative, no absolute slack),
   produces a bit-identical report signature, replays bit-identically on
   the same seed, and stays correct across lifecycle schedules whose
-  onboards/updates/evictions must invalidate the weight-stack cache.
+  onboards/updates/evictions must invalidate the weight-stack cache;
+* **parallel-vs-serial identity** (DESIGN.md §13) — replaying a
+  generated schedule on worker processes (``workers ∈ {2, 4}``, stacked
+  on and off, shard-outage chaos so the failover hand-off runs) is
+  bit-identical to the serial replay: responses, per-endpoint query
+  ledgers, and ``totals_signature()`` all match exactly.
 
 The schedule count is env-tunable so CI can smoke a subset::
 
@@ -513,6 +518,47 @@ def test_stacked_lifecycle_schedule_invalidation(base, tiny_corpus, seed):
     rerun = Fleet(copy.deepcopy(pristine), registry_capacity=1, stacked=True)
     assert rerun.run(schedule) == responses
     assert rerun.report.signature() == stacked.report.signature()
+
+
+@pytest.mark.parametrize("stacked", [False, True], ids=["plain", "stacked"])
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_parallel_cluster_differential_sweep(base, tiny_corpus, seed, stacked):
+    """Worker-pool replay vs serial replay over generated lifecycle
+    schedules under shard-outage chaos (DESIGN.md §13): responses,
+    per-endpoint ledgers, and ``totals_signature()`` must all be
+    bit-identical at every worker count."""
+    from repro.pelican import totals_signature
+
+    pristine, _, splits = base
+    schedule = generate_schedule(
+        tiny_corpus, splits, 4000 + seed, include_onboards=True
+    )
+
+    def run(workers):
+        cluster = Cluster.from_trained(
+            copy.deepcopy(pristine),
+            num_shards=4,
+            registry_capacity=1,
+            policy=chaos_policy("shard_outage", seed=seed),
+            stacked=stacked,
+            workers=workers,
+        )
+        try:
+            responses = cluster.run(schedule)
+            ledgers = {
+                uid: (
+                    user.endpoint.stats.queries,
+                    user.endpoint.stats.simulated_network_seconds,
+                )
+                for uid, user in cluster.users.items()
+            }
+            return responses, ledgers, totals_signature(cluster.signature())
+        finally:
+            cluster.close()
+
+    serial = run(0)
+    for workers in (2, 4):
+        assert run(workers) == serial
 
 
 @pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))

@@ -1,0 +1,358 @@
+"""Parallel cluster serving tests (DESIGN.md §13).
+
+Pins the contract of ``repro.pelican.parallel``:
+
+* **bit-identical merge** — a ``workers=N`` run reproduces the serial
+  run's responses and ``signature()`` (hence ``totals_signature()``)
+  bit-for-bit at every worker count, under null chaos, shard-outage
+  chaos (the failover hand-off path), and hostile chaos (the
+  worker-RNG-inheritance invariant: shard chaos streams keep their
+  ``shard_policy`` derived seeds — nothing reseeds from pid or time);
+* **start-method independence** — fork and spawn workers answer
+  identically (state travels by pickle either way);
+* **scatter guard** — every shard must return one slot per request;
+  a length mismatch is a hard error, not a silent misalignment;
+* **targeted invalidation** — ``_invalidate_elsewhere`` books exactly
+  the evictions a broadcast would, touching only shards whose live
+  cache holds the model;
+* **worker failures propagate** — an exception on a worker surfaces in
+  the parent as a ``RuntimeError`` carrying the worker traceback.
+"""
+
+import copy
+
+import pytest
+
+from repro.data import CorpusConfig, SpatialLevel, generate_corpus
+from repro.models import GeneralModelConfig, PersonalizationConfig
+from repro.pelican import (
+    ChaosPolicy,
+    Cluster,
+    DeploymentMode,
+    FleetSchedule,
+    Pelican,
+    PelicanConfig,
+    QueryRequest,
+    ResiliencePolicy,
+    chaos_policy,
+    resilience_policy,
+    totals_signature,
+)
+
+LEVEL = SpatialLevel.BUILDING
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """(corpus, trained userless pelican, per-user splits) — parallel
+    tests deepcopy this instead of retraining."""
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_buildings=12,
+            num_contributors=3,
+            num_personal_users=4,
+            num_days=14,
+            seed=5,
+        )
+    )
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=GeneralModelConfig(hidden_size=12, epochs=2, patience=None),
+            personalization=PersonalizationConfig(
+                epochs=2, patience=None, scratch_hidden_size=8
+            ),
+            privacy_temperature=1e-3,
+            seed=5,
+        ),
+    )
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    pelican.initial_training(train)
+    splits = {
+        uid: corpus.user_dataset(uid, LEVEL).split(0.8) for uid in corpus.personal_ids
+    }
+    return corpus, pelican, splits
+
+
+def _schedule(corpus, splits, ticks=3):
+    """Onboards (mixed deployment), coalesced query ticks, one update."""
+    schedule = FleetSchedule()
+    for i, uid in enumerate(corpus.personal_ids):
+        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+        schedule.onboard(float(i), uid, splits[uid][0], deployment=mode)
+    tick = 10.0
+    for j in range(ticks):
+        for uid in corpus.personal_ids:
+            holdout = splits[uid][1]
+            window = holdout.windows[j % len(holdout.windows)]
+            schedule.query(tick, uid, window.history, k=3)
+        tick += 10.0
+    first = corpus.personal_ids[0]
+    schedule.update(tick, first, splits[first][1])
+    for uid in corpus.personal_ids:
+        schedule.query(tick + 10.0, uid, splits[uid][1].windows[0].history, k=2)
+    return schedule
+
+
+def _cluster(pelican, workers, policy=None, num_shards=4, **kwargs):
+    return Cluster.from_trained(
+        copy.deepcopy(pelican),
+        num_shards=num_shards,
+        registry_capacity=2,
+        policy=policy,
+        workers=workers,
+        **kwargs,
+    )
+
+
+def _run(pelican, schedule, workers, policy=None, **kwargs):
+    """(responses, signature, per-endpoint ledgers) of one replay."""
+    cluster = _cluster(pelican, workers, policy=policy, **kwargs)
+    try:
+        responses = cluster.run(schedule)
+        ledgers = {
+            uid: (
+                user.endpoint.stats.queries,
+                user.endpoint.stats.simulated_network_seconds,
+            )
+            for uid, user in cluster.users.items()
+        }
+        return responses, cluster.signature(), ledgers
+    finally:
+        cluster.close()
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self, trained):
+        corpus, pelican, _ = trained
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            Cluster(corpus.spec(LEVEL), pelican.config, num_shards=2, workers=-1)
+
+    def test_workers_reject_active_resilience(self, trained):
+        """Breakers/ladder read cross-shard state mid-tick — no
+        deterministic decomposition onto isolated workers (§13)."""
+        corpus, pelican, _ = trained
+        with pytest.raises(ValueError, match="does not compose"):
+            Cluster(
+                corpus.spec(LEVEL),
+                pelican.config,
+                num_shards=2,
+                workers=2,
+                resilience=resilience_policy("default", seed=0),
+            )
+
+    def test_workers_allow_null_resilience(self, trained):
+        corpus, pelican, _ = trained
+        cluster = Cluster(
+            corpus.spec(LEVEL),
+            pelican.config,
+            num_shards=2,
+            workers=2,
+            resilience=ResiliencePolicy(),
+        )
+        cluster.close()
+
+
+class TestBitParity:
+    """The acceptance bar: parallel replay == serial replay, bit-for-bit."""
+
+    def test_null_chaos_any_worker_count(self, trained):
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits)
+        serial = _run(pelican, schedule, workers=0, policy=ChaosPolicy())
+        for workers in (1, 2, 4):
+            assert _run(pelican, schedule, workers=workers, policy=ChaosPolicy()) == serial
+        assert totals_signature(serial[1]) == totals_signature(serial[1])  # well-formed
+
+    def test_shard_outage_failover_handoff(self, trained):
+        """Outage ticks exercise the deterministic ownership hand-off:
+        failover serving on the fallback worker, endpoint bills routed
+        home, fresh blobs pushed on demand (§13)."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits)
+        policy = chaos_policy("shard_outage", seed=1)
+        serial = _run(pelican, schedule, workers=0, policy=policy)
+        for workers in (2, 4):
+            assert _run(pelican, schedule, workers=workers, policy=policy) == serial
+
+    def test_hostile_chaos_worker_rng_inheritance(self, trained):
+        """The satellite invariant: a 2-worker hostile-chaos run is
+        bit-identical to serial, which can only hold if every worker's
+        chaos/RNG state is exactly the shipped ``shard_policy``-derived
+        state — any pid/time reseeding would diverge the draw streams."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits)
+        policy = chaos_policy("hostile", seed=1)
+        serial = _cluster(pelican, 0, policy=policy)
+        parallel = _cluster(pelican, 2, policy=policy)
+        try:
+            assert parallel.run(schedule) == serial.run(schedule)
+            assert parallel.signature() == serial.signature()
+            # Chaos books travel back from the workers bit-exact too.
+            assert parallel.merged_chaos() == serial.merged_chaos()
+        finally:
+            parallel.close()
+
+    def test_stacked_dispatch_parity(self, trained):
+        """Stacked serving is worker-local state — it parallelizes."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits)
+        serial = _run(pelican, schedule, workers=0, stacked=True)
+        assert _run(pelican, schedule, workers=2, stacked=True) == serial
+
+    def test_spawn_start_method_parity(self, trained, monkeypatch):
+        """Fork and spawn workers are interchangeable: all shard state
+        travels over the pipe by pickle, never by inheritance."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits, ticks=1)
+        serial = _run(pelican, schedule, workers=0)
+        monkeypatch.setenv("REPRO_PARALLEL_START", "spawn")
+        assert _run(pelican, schedule, workers=2) == serial
+
+    def test_serve_scatter_parity(self, trained):
+        """The one-shot ``Cluster.serve`` scatter path, not just ``run``."""
+        corpus, pelican, splits = trained
+        requests = [
+            QueryRequest(
+                user_id=uid, history=tuple(splits[uid][1].windows[0].history), k=3
+            )
+            for uid in corpus.personal_ids
+        ]
+        serial = _cluster(pelican, 0)
+        parallel = _cluster(pelican, 2)
+        try:
+            for cluster in (serial, parallel):
+                for i, uid in enumerate(corpus.personal_ids):
+                    mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+                    cluster.onboard(uid, splits[uid][0], deployment=mode)
+            assert parallel.serve(requests) == serial.serve(requests)
+            assert parallel.signature() == serial.signature()
+        finally:
+            parallel.close()
+
+    def test_sessions_compose_and_close_is_idempotent(self, trained):
+        """State round-trips through consecutive sessions: run → run on
+        one cluster matches the serial cluster doing the same."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits, ticks=1)
+        serial = _cluster(pelican, 0)
+        parallel = _cluster(pelican, 2)
+        try:
+            for _ in range(2):
+                assert parallel.run(schedule) == serial.run(schedule)
+            assert parallel.signature() == serial.signature()
+        finally:
+            parallel.close()
+            parallel.close()  # idempotent
+
+
+class TestScatterGuard:
+    """Satellite: a shard returning the wrong number of slots is a hard
+    error at the merge — misalignment can never be silent."""
+
+    def _onboarded(self, trained, workers=0):
+        corpus, pelican, splits = trained
+        cluster = _cluster(pelican, workers, num_shards=2)
+        for uid in corpus.personal_ids:
+            cluster.onboard(uid, splits[uid][0], deployment=DeploymentMode.CLOUD)
+        requests = [
+            QueryRequest(
+                user_id=uid, history=tuple(splits[uid][1].windows[0].history), k=3
+            )
+            for uid in corpus.personal_ids
+        ]
+        return cluster, requests
+
+    def test_short_shard_response_raises(self, trained):
+        corpus, _, _ = trained
+        cluster, requests = self._onboarded(trained)
+        victim = cluster.shards[cluster.shard_of(corpus.personal_ids[0])]
+        original = victim.serve
+        victim.serve = lambda subset: original(subset)[:-1]
+        with pytest.raises(RuntimeError, match="one slot per request"):
+            cluster.serve(requests)
+
+    def test_long_shard_response_raises(self, trained):
+        corpus, _, _ = trained
+        cluster, requests = self._onboarded(trained)
+        victim = cluster.shards[cluster.shard_of(corpus.personal_ids[0])]
+        original = victim.serve
+        victim.serve = lambda subset: original(subset) * 2
+        with pytest.raises(RuntimeError, match="one slot per request"):
+            cluster.serve(requests)
+
+    def test_intact_shards_pass_the_guard(self, trained):
+        cluster, requests = self._onboarded(trained)
+        assert len(cluster.serve(requests)) == len(requests)
+
+
+class TestTargetedInvalidation:
+    """Satellite: evict only shards whose live cache holds the model,
+    with books identical to the broadcast reference."""
+
+    def test_eviction_log_equals_broadcast_reference(self, trained):
+        corpus, pelican, splits = trained
+        uid = corpus.personal_ids[0]
+        cluster = _cluster(pelican, 0, num_shards=3)
+        cluster.onboard(uid, splits[uid][0], deployment=DeploymentMode.CLOUD)
+        home = cluster.shard_of(uid)
+        foreign = (home + 1) % 3
+        untouched = (home + 2) % 3
+        # A past failover cached the model on exactly one foreign shard.
+        cluster.shards[foreign].registry.get(uid)
+        assert uid in cluster.shards[foreign].registry.resident_ids
+
+        # Reference: the same state, invalidated by brute-force broadcast.
+        reference = copy.deepcopy(cluster)
+
+        cluster.update(uid, splits[uid][1])
+
+        ref_home = reference.shard_of(uid)
+        reference.shards[ref_home].update(uid, splits[uid][1])
+        for shard_id, shard in enumerate(reference.shards):
+            if shard_id != ref_home:
+                shard.registry.evict(uid)
+
+        for ours, ref in zip(cluster.shards, reference.shards):
+            assert ours.registry.stats.eviction_log == ref.registry.stats.eviction_log
+            assert ours.registry.stats.evictions == ref.registry.stats.evictions
+        assert cluster.signature() == reference.signature()
+        # And the never-resident shard was genuinely left alone.
+        assert cluster.shards[untouched].registry.stats.eviction_log == []
+        assert uid not in cluster.shards[foreign].registry.resident_ids
+
+    def test_parallel_invalidation_matches_serial(self, trained):
+        """The worker-pool invalidation path (superset tracking + evict
+        commands) books the same evictions the serial path does."""
+        corpus, pelican, splits = trained
+        schedule = _schedule(corpus, splits)
+        policy = chaos_policy("shard_outage", seed=1)
+        serial = _cluster(pelican, 0, policy=policy)
+        parallel = _cluster(pelican, 2, policy=policy)
+        try:
+            serial.run(schedule)
+            parallel.run(schedule)
+            for ours, ref in zip(parallel.shards, serial.shards):
+                assert (
+                    ours.registry.stats.eviction_log
+                    == ref.registry.stats.eviction_log
+                )
+        finally:
+            parallel.close()
+
+
+class TestWorkerFailures:
+    def test_worker_exception_propagates_with_traceback(self, trained):
+        corpus, pelican, splits = trained
+        cluster = _cluster(pelican, 2, num_shards=2)
+        uid = corpus.personal_ids[0]
+        cluster.onboard(uid, splits[uid][0], deployment=DeploymentMode.CLOUD)
+        ghost = max(corpus.personal_ids) + 999
+        request = QueryRequest(
+            user_id=ghost, history=tuple(splits[uid][1].windows[0].history), k=3
+        )
+        try:
+            with pytest.raises(RuntimeError, match="shard worker failed"):
+                cluster.serve([request])
+        finally:
+            cluster.close()
