@@ -35,9 +35,9 @@ REPO_ROOT = BENCH_DIR.parent
 # The quick suite: nn micro-benchmarks, the fleet serving comparison, the
 # cluster shard-scaling comparison, the worker-pool parallel serving
 # comparison, the regimes x chaos scenario matrix, the privacy-audit
-# comparison, the resilience clean-path overhead gate, and the
-# cross-model stacked dispatch comparison (all run in seconds; the
-# experiment-regeneration targets need --full).
+# comparison, the resilience clean-path overhead gate, the cross-model
+# stacked dispatch comparison, and the storage tiering gates (all run
+# in seconds; the experiment-regeneration targets need --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
@@ -47,6 +47,7 @@ DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_audit_matrix.py"),
     str(BENCH_DIR / "test_resilience_overhead.py"),
     str(BENCH_DIR / "test_stacked_dispatch.py"),
+    str(BENCH_DIR / "test_storage_tiering.py"),
 ]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 OUTPUT_PATH = BENCH_DIR / "BENCH_latest.json"

@@ -21,9 +21,12 @@ fleet serving layer (DESIGN.md §7):
 
 plus the fleet-level overhead accounting: MACs and simulated seconds
 attributed per side, network traffic, and registry cache behaviour —
-and, as a finale, the same deployment sharded and hit with a total
+then, as a finale, the same deployment sharded and hit with a total
 blackout under a resilience policy (DESIGN.md §11), printing the
-degraded-vs-fresh answer breakdown.
+degraded-vs-fresh answer breakdown; and finally the deployment re-run
+with the model registry on the tiered blob store (DESIGN.md §14),
+gating answer parity against the in-memory run and printing the
+resident-memory and cold-load-latency deltas.
 
 Run:  python examples/pelican_service.py
 """
@@ -43,6 +46,7 @@ from repro.pelican import (
     PelicanConfig,
     QueryRequest,
     chaos_policy,
+    make_blob_store,
     measure_availability,
     resilience_policy,
 )
@@ -78,6 +82,9 @@ def main() -> None:
         f"general model trained: {report.estimated_billion_cycles:.1f}B cycle-equivalents, "
         f"{report.wall_seconds:.1f}s wall"
     )
+    # Trained-but-userless snapshot: phases 5 and 6 re-run the same
+    # deployment under different serving substrates.
+    pristine = copy.deepcopy(pelican)
 
     print("\n=== Phase 2+3: onboard the fleet (device personalization + deployment) ===")
     schedule = FleetSchedule()
@@ -213,6 +220,56 @@ def main() -> None:
         f"retries {stats.retries_spent} spent / {stats.retries_denied} denied, "
         f"{stats.backoff_seconds:.2f}s backoff"
     )
+
+    print("\n=== Phase 6: the registry on the tiered blob store (DESIGN.md §14) ===")
+    # The same onboarding schedule and query burst, replayed from the
+    # trained snapshot over the in-memory store and over the tiered store.
+    # The hot budget is deliberately sized *below* one checkpoint, so
+    # every checkpoint demotes to disk immediately — the all-cold worst
+    # case for the latency comparison.  Stores are byte-transparent, so
+    # the answers must be identical; what changes is what stays resident.
+
+    def replay(kind, hot_bytes):
+        store = make_blob_store(kind, hot_bytes=hot_bytes)
+        replayed = Fleet(
+            copy.deepcopy(pristine), registry_capacity=1, registry_store=store
+        )
+        replayed.run(schedule)
+        return replayed, store, replayed.serve(requests)
+
+    memory_fleet, memory_store, memory_answers = replay("memory", 0)
+    blob_bytes = max(len(blob) for blob in memory_store.values())
+    tiered_fleet, tiered_store, tiered_answers = replay("tiered", blob_bytes // 2)
+    print(f"answers identical across stores: {responses_match(tiered_answers, memory_answers)}")
+
+    def cold_load_ms(replayed, uid):
+        best = float("inf")
+        for _ in range(10):
+            replayed.registry.evict(uid)
+            start = time.perf_counter()
+            replayed.registry.get(uid)
+            best = min(best, time.perf_counter() - start)
+        return best * 1e3
+
+    cloud_uid = next(
+        uid
+        for uid, user in memory_fleet.pelican.users.items()
+        if user.endpoint.mode is DeploymentMode.CLOUD
+    )
+    memory_ms = cold_load_ms(memory_fleet, cloud_uid)
+    tiered_ms = cold_load_ms(tiered_fleet, cloud_uid)
+    print(
+        f"resident blob bytes: {memory_store.resident_bytes() / 1e3:.0f} KB in-memory "
+        f"-> {tiered_store.resident_bytes() / 1e3:.0f} KB tiered "
+        f"({memory_store.resident_bytes() / tiered_store.resident_bytes():.1f}x less resident, "
+        f"{tiered_store.total_bytes / 1e3:.0f} KB durable on disk)"
+    )
+    print(
+        f"registry cold load (evict + reload user {cloud_uid}): "
+        f"{memory_ms:.2f}ms in-memory -> {tiered_ms:.2f}ms tiered "
+        f"(hot tier: {tiered_store.hot_hits} hits / {tiered_store.hot_misses} misses)"
+    )
+    tiered_store.close()
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ Examples::
     python -m repro experiment table3 --scale tiny
     python -m repro fleet --scale tiny --fast
     python -m repro fleet --scale tiny --fast --shards 4 --placement hash
+    python -m repro fleet --scale tiny --fast --store disk
     python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
         --policies none lossy_network churn --fast
     python -m repro scenarios --scale tiny --shards 2 --policies none shard_outage --fast
@@ -39,6 +40,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.data import CorpusConfig, generate_corpus, save_ap_sessions
 from repro.pelican.placement import PLACEMENT_POLICIES
+from repro.pelican.storage import STORE_KINDS
 from repro.eval import (
     ExperimentScale,
     Pipeline,
@@ -229,6 +231,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         stacked=args.stacked,
         workers=args.workers,
+        store=args.store,
+        delta_updates=args.delta_updates,
     )
     print(render_fleet(result))
     return 0 if result.parity else 1
@@ -400,6 +404,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--stacked", action="store_true",
         help="serve cloud groups via cross-model stacked dispatch (same answers)",
+    )
+    fleet.add_argument(
+        "--store", choices=sorted(STORE_KINDS), default="memory",
+        help="durable blob-store tier behind the registry: memory, disk "
+        "(mmap-backed segments), or tiered (hot cache over disk); answers "
+        "and signatures are bit-identical across tiers (default memory)",
+    )
+    fleet.add_argument(
+        "--delta-updates", action="store_true",
+        help="ship cloud redeploys as weight deltas against the prior blob "
+        "(opt-in: books fewer network bytes by design)",
     )
     _add_resilience_args(fleet)
     fleet.set_defaults(func=_cmd_fleet)

@@ -32,6 +32,7 @@ from repro.pelican.cluster import Cluster
 from repro.pelican.deployment import DeploymentMode
 from repro.pelican.fleet import Fleet, FleetReport, QueryRequest, QueryResponse
 from repro.pelican.resilience import ResiliencePolicy, resilience_policy
+from repro.pelican.storage import BlobStore, make_blob_store
 from repro.pelican.system import Pelican, PelicanConfig
 
 DEFAULT_LEVEL = SpatialLevel.BUILDING
@@ -70,6 +71,17 @@ class FleetWorkload:
     scale_name: str
     num_shards: int = 1
     workers: int = 0
+    #: The durable blob store behind the registry/cluster, for residency
+    #: reporting and cleanup (:meth:`close`).
+    store: Optional[BlobStore] = None
+    store_kind: str = "memory"
+
+    def close(self) -> None:
+        """Release worker processes and any disk-backed store."""
+        if isinstance(self.fleet, Cluster):
+            self.fleet.close()
+        if self.store is not None:
+            self.store.close()
 
     @property
     def num_users(self) -> int:
@@ -91,6 +103,7 @@ class FleetThroughputResult:
     num_shards: int = 1
     stacked: bool = False
     workers: int = 0
+    store: str = "memory"
 
     @property
     def speedup(self) -> float:
@@ -113,6 +126,8 @@ def build_fleet_workload(
     resilience: Optional[ResiliencePolicy] = None,
     stacked: bool = False,
     workers: int = 0,
+    store: str = "memory",
+    delta_updates: bool = False,
 ) -> FleetWorkload:
     """Stand up a fleet (or sharded cluster) at ``scale`` and derive its
     query workload.  ``resilience`` optionally attaches a fault-handling
@@ -135,6 +150,12 @@ def build_fleet_workload(
     processes (DESIGN.md §13) — still bit-identical, and it needs
     ``num_shards > 1`` to have anything to scatter.
 
+    ``store`` selects the durable blob-store tier behind the registry
+    (DESIGN.md §14: ``memory`` / ``disk`` / ``tiered``); responses and
+    signatures are bit-identical across tiers.  ``delta_updates`` ships
+    cloud redeploys as weight deltas — an opt-in that legitimately
+    lowers network-byte books.
+
     ``fast_setup`` cuts training to :data:`FAST_SETUP_EPOCHS` epochs:
     model *dimensions* (and therefore serving cost) still match the
     scale, but setup takes seconds instead of minutes.  Only serving
@@ -152,11 +173,14 @@ def build_fleet_workload(
         general=general,
         personalization=personalization,
         seed=scale.corpus.seed,
+        delta_updates=delta_updates,
     )
+    blob_store = make_blob_store(store)
     if num_shards == 1:
         fleet: Union[Fleet, Cluster] = Fleet(
             Pelican(spec, config),
             registry_capacity=registry_capacity,
+            registry_store=blob_store,
             resilience=resilience,
             stacked=stacked,
         )
@@ -170,6 +194,7 @@ def build_fleet_workload(
             resilience=resilience,
             stacked=stacked,
             workers=workers,
+            store=blob_store,
         )
     train, _ = corpus.contributor_dataset(DEFAULT_LEVEL).split_by_user(0.8)
     fleet.train_cloud(train)
@@ -192,6 +217,8 @@ def build_fleet_workload(
         scale_name=scale.name,
         num_shards=num_shards,
         workers=workers,
+        store=blob_store,
+        store_kind=store,
     )
 
 
@@ -234,6 +261,8 @@ def run_fleet_throughput(
     deadline: Optional[float] = None,
     stacked: bool = False,
     workers: int = 0,
+    store: str = "memory",
+    delta_updates: bool = False,
 ) -> FleetThroughputResult:
     """Build a fleet at ``scale`` and compare both serving paths once."""
     res_policy = None
@@ -251,6 +280,8 @@ def run_fleet_throughput(
         resilience=res_policy,
         stacked=stacked,
         workers=workers,
+        store=store,
+        delta_updates=delta_updates,
     )
     fleet, requests = workload.fleet, workload.requests
 
@@ -263,8 +294,7 @@ def run_fleet_throughput(
         batched = fleet.serve(requests)
         batched_seconds = time.perf_counter() - start
     finally:
-        if isinstance(fleet, Cluster):
-            fleet.close()
+        workload.close()
 
     return FleetThroughputResult(
         scale=workload.scale_name,
@@ -278,4 +308,5 @@ def run_fleet_throughput(
         num_shards=workload.num_shards,
         stacked=stacked,
         workers=workers,
+        store=store,
     )

@@ -6,13 +6,34 @@ in the reproduction is bit-for-bit reproducible from a seed (DESIGN.md §6).
 
 from __future__ import annotations
 
-from typing import Tuple
+import contextlib
+from typing import Iterator, Tuple
 
 import numpy as np
+
+# When True, the random initializers return zeros without consuming any rng
+# draws.  Checkpoint loads construct a model only to overwrite every tensor
+# via ``load_state_dict``, so paying the seeded init there is pure waste
+# (DESIGN.md §14); serving outputs stay bit-identical either way.
+_skip_random_init = False
+
+
+@contextlib.contextmanager
+def skip_init() -> Iterator[None]:
+    """Make initializers return zeros (no rng draws) inside the block."""
+    global _skip_random_init
+    previous = _skip_random_init
+    _skip_random_init = True
+    try:
+        yield
+    finally:
+        _skip_random_init = previous
 
 
 def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
     """Glorot/Xavier uniform initialization for weight matrices."""
+    if _skip_random_init:
+        return np.zeros(shape)
     fan_in, fan_out = _fans(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape)
@@ -20,6 +41,8 @@ def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarr
 
 def uniform_lstm(rng: np.random.Generator, shape: Tuple[int, ...], hidden_size: int) -> np.ndarray:
     """PyTorch-style LSTM init: U(-1/sqrt(H), 1/sqrt(H))."""
+    if _skip_random_init:
+        return np.zeros(shape)
     bound = 1.0 / np.sqrt(hidden_size)
     return rng.uniform(-bound, bound, size=shape)
 

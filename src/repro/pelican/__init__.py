@@ -43,9 +43,11 @@ from repro.pelican.deployment import (
     QueryStats,
     ServiceEndpoint,
     deploy_cloud,
+    deploy_cloud_delta,
     deploy_local,
     rebuild_personal_model,
     serialize_personal_model,
+    serialize_personal_model_delta,
 )
 from repro.pelican.device import (
     CLOUD_SERVER,
@@ -82,6 +84,14 @@ from repro.pelican.privacy import (
     remove_privacy,
 )
 from repro.pelican.registry import ModelRegistry, RegistryStats
+from repro.pelican.storage import (
+    STORE_KINDS,
+    BlobStore,
+    DiskBlobStore,
+    MemoryBlobStore,
+    TieredBlobStore,
+    make_blob_store,
+)
 from repro.pelican.stacking import WeightStack, WeightStackCache, stack_key
 from repro.pelican.resilience import (
     DEFAULT_QUERY_DEADLINE,
@@ -120,6 +130,12 @@ __all__ = [
     "ClusterReport",
     "FaultyChannel",
     "FlakyModelRegistry",
+    "BlobStore",
+    "DiskBlobStore",
+    "MemoryBlobStore",
+    "TieredBlobStore",
+    "STORE_KINDS",
+    "make_blob_store",
     "DEFAULT_PRIVACY_TEMPERATURE",
     "DeploymentMode",
     "EventKind",
@@ -164,6 +180,8 @@ __all__ = [
     "resilience_policy",
     "shed_late_queries",
     "deploy_cloud",
+    "deploy_cloud_delta",
+    "serialize_personal_model_delta",
     "deploy_local",
     "leakage_reduction",
     "leakage_reduction_series",

@@ -33,7 +33,7 @@ makes accuracy comparable across chaos policies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.pelican.fleet import (
     QueryResponse,
 )
 from repro.pelican.registry import ModelRegistry
+from repro.pelican.storage import BlobStore
 from repro.pelican.resilience import (
     _STREAM_COLD_LOAD_BACKOFF,
     _STREAM_TRANSFER_BACKOFF,
@@ -378,7 +379,7 @@ class FlakyModelRegistry(ModelRegistry):
         policy: ChaosPolicy,
         chaos: ChaosStats,
         storage_mbps: float = 400.0,
-        store: Optional[Dict[int, bytes]] = None,
+        store: Optional[Union[Dict[int, bytes], BlobStore]] = None,
         resilience: Optional[ResiliencePolicy] = None,
         resilience_stats: Optional[ResilienceStats] = None,
     ) -> None:
@@ -450,7 +451,7 @@ class ChaosFleet(Fleet):
         registry_capacity: Optional[int] = 64,
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
-        registry_store: Optional[Dict[int, bytes]] = None,
+        registry_store: Optional[Union[Dict[int, bytes], BlobStore]] = None,
         resilience: Optional[ResiliencePolicy] = None,
         resilience_stats: Optional[ResilienceStats] = None,
         stacked: bool = False,

@@ -83,6 +83,7 @@ from repro.pelican.dispatch import (
 )
 from repro.pelican.fleet import Fleet
 from repro.pelican.placement import HashPlacement, PlacementPolicy, make_placement
+from repro.pelican.storage import BlobStore, make_blob_store
 from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
 
 
@@ -158,6 +159,14 @@ class Cluster:
         with a non-null resilience policy (breakers and the degradation
         ladder read cross-shard state mid-tick); :meth:`close` stops the
         processes.
+    store:
+        The cluster-wide durable checkpoint store (DESIGN.md §14).  A
+        kind string (``"memory"``, ``"disk"``, ``"tiered"``) builds a
+        store the cluster owns and closes; a ready-made
+        :class:`~repro.pelican.storage.BlobStore` (or plain dict) is used
+        as-is and left open.  Responses and ``totals_signature()`` are
+        bit-identical across store kinds — stores are byte-transparent
+        and fetches are billed at logical blob sizes.
     """
 
     def __init__(
@@ -173,6 +182,7 @@ class Cluster:
         resilience: Optional[ResiliencePolicy] = None,
         stacked: bool = False,
         workers: int = 0,
+        store: Union[str, BlobStore, Dict[int, bytes], None] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -220,7 +230,13 @@ class Cluster:
         )
         #: Cluster-wide durable checkpoint store, shared by every shard's
         #: registry — what makes cross-shard failover cold loads possible.
-        self.store: Dict[int, bytes] = {}
+        #: Any :class:`~repro.pelican.storage.BlobStore` works (DESIGN.md
+        #: §14); a kind string (``"memory"``/``"disk"``/``"tiered"``)
+        #: builds one the cluster owns and closes.
+        self._owns_store = isinstance(store, str) or store is None
+        self.store: Union[BlobStore, Dict[int, bytes]] = (
+            make_blob_store(store or "memory") if self._owns_store else store
+        )
         self.shards: List[Fleet] = []
         for shard_id in range(num_shards):
             pelican = Pelican(spec, config)
@@ -451,10 +467,15 @@ class Cluster:
         return self._pool
 
     def close(self) -> None:
-        """Stop the worker processes (no-op when serial / never started)."""
+        """Stop the worker processes and any store the cluster owns
+        (no-op when serial / never started / memory-backed)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._owns_store:
+            closer = getattr(self.store, "close", None)
+            if closer is not None:
+                closer()
 
     def _scatter(self, requests, serve_one_shard) -> List[QueryResponse]:
         """Split requests by home shard, serve, and merge in request order.

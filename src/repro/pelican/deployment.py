@@ -24,7 +24,13 @@ import numpy as np
 from repro.data.features import FeatureSpec, SessionFeatures
 from repro.models.architecture import NextLocationModel
 from repro.models.predictor import NextLocationPredictor
-from repro.nn.serialization import deserialize_state, serialize_state
+from repro.nn import init as nn_init
+from repro.nn.serialization import (
+    deserialize_state,
+    encode_compact,
+    serialize_state,
+    state_delta,
+)
 from repro.pelican.transport import Channel
 
 
@@ -68,18 +74,24 @@ def rebuild_personal_model(blob: bytes, rng: np.random.Generator) -> NextLocatio
     The rebuilt model is bit-identical to the serialized one: the state
     dict round-trips exactly, so a registry cold load (DESIGN.md §7)
     answers queries identically to the still-resident original.
+
+    Construction runs under :func:`repro.nn.init.skip_init` — every tensor
+    is about to be overwritten by ``load_state_dict``, so paying the
+    seeded random init would be pure waste (DESIGN.md §14).  Accepts
+    format-1 (npz) and format-2 (compact) blobs alike.
     """
     state, metadata = deserialize_state(blob)
-    model = NextLocationModel(
-        input_width=int(metadata["input_width"]),
-        num_locations=int(metadata["num_locations"]),
-        hidden_size=int(metadata["hidden_size"]),
-        num_layers=int(metadata["num_layers"]),
-        dropout=float(metadata["dropout"]),
-        rng=rng,
-    )
-    if metadata["has_surplus"]:
-        model.add_surplus_lstm(rng)
+    with nn_init.skip_init():
+        model = NextLocationModel(
+            input_width=int(metadata["input_width"]),
+            num_locations=int(metadata["num_locations"]),
+            hidden_size=int(metadata["hidden_size"]),
+            num_layers=int(metadata["num_layers"]),
+            dropout=float(metadata["dropout"]),
+            rng=rng,
+        )
+        if metadata["has_surplus"]:
+            model.add_surplus_lstm(rng)
     model.load_state_dict(state)
     model.set_privacy_temperature(float(metadata["temperature"]))
     model.eval()
@@ -218,3 +230,48 @@ def deploy_cloud(
         NextLocationPredictor(server_model, spec), DeploymentMode.CLOUD, channel
     )
     return endpoint, upload_seconds
+
+
+def serialize_personal_model_delta(
+    model: NextLocationModel, prior_blob: bytes
+) -> Tuple[bytes, bytes]:
+    """Delta-encode a redeploy against the previously deployed blob.
+
+    Returns ``(delta_blob, full_blob)``: the delta carries only the weight
+    bytes that changed since ``prior_blob`` (any format) and is what the
+    transport ships; the full compact blob is what the store keeps —
+    :func:`repro.nn.serialization.apply_state_delta` reconstitutes it
+    byte-for-byte from ``prior_blob``'s compact form plus the delta.
+    """
+    full = encode_compact(serialize_personal_model(model))
+    delta = state_delta(full, encode_compact(prior_blob))
+    return delta, full
+
+
+def deploy_cloud_delta(
+    model: NextLocationModel,
+    spec: FeatureSpec,
+    channel: Channel,
+    rng: np.random.Generator,
+    prior_blob: Optional[bytes],
+) -> Tuple[ServiceEndpoint, float, bytes]:
+    """Redeploy to the cloud, shipping only changed weight bytes.
+
+    Opt-in variant of :func:`deploy_cloud` (``PelicanConfig.delta_updates``):
+    with a prior blob the channel books the delta's size instead of the
+    full checkpoint's, which is exactly why it is off by default — network
+    signatures move, by design.  Without a prior blob this is a first
+    deploy and degenerates to the full upload.  Returns the endpoint, the
+    upload seconds, and the full compact blob to remember for the next
+    delta.
+    """
+    if prior_blob is None:
+        endpoint, upload_seconds = deploy_cloud(model, spec, channel, rng)
+        return endpoint, upload_seconds, encode_compact(serialize_personal_model(model))
+    delta, full = serialize_personal_model_delta(model, prior_blob)
+    upload_seconds = channel.upload(delta, label="personal-model-delta")
+    server_model = rebuild_personal_model(full, rng)
+    endpoint = ServiceEndpoint(
+        NextLocationPredictor(server_model, spec), DeploymentMode.CLOUD, channel
+    )
+    return endpoint, upload_seconds, full

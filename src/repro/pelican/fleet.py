@@ -34,7 +34,7 @@ here, so ``from repro.pelican.fleet import FleetSchedule`` keeps working.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.data.dataset import SequenceDataset
 from repro.nn.profiler import flop_counter
@@ -60,6 +60,7 @@ from repro.pelican.dispatch import (
 )
 from repro.pelican.registry import ModelRegistry
 from repro.pelican.resilience import ResiliencePolicy, ResilienceStats
+from repro.pelican.storage import BlobStore
 from repro.pelican.system import OnboardedUser, Pelican
 from repro.models.personalize import PersonalizationMethod
 
@@ -95,9 +96,12 @@ class Fleet:
         Hardware models used to convert per-side MACs into simulated
         seconds; ``device_profile`` is also the default onboarding device.
     registry_store:
-        Optional shared durable blob store.  A standalone fleet keeps its
-        own; cluster shards pass one dict so every shard can cold-load any
-        user's checkpoint during failover (DESIGN.md §9).
+        Optional shared durable blob store — any
+        :class:`~repro.pelican.storage.BlobStore` or plain dict.  A
+        standalone fleet keeps its own in-memory store; cluster shards
+        pass one shared store so every shard can cold-load any user's
+        checkpoint during failover (DESIGN.md §9, §14).  Store choice
+        never moves responses or signatures.
     resilience / resilience_stats:
         Optional fault-handling policy and its stats book (DESIGN.md
         §11).  A bare fleet has no faults to handle, so these only bite
@@ -121,7 +125,7 @@ class Fleet:
         registry_capacity: Optional[int] = 64,
         cloud_profile: DeviceProfile = CLOUD_SERVER,
         device_profile: DeviceProfile = LOW_END_PHONE,
-        registry_store: Optional[Dict[int, bytes]] = None,
+        registry_store: Optional[Union[Dict[int, bytes], BlobStore]] = None,
         resilience: Optional[ResiliencePolicy] = None,
         resilience_stats: Optional[ResilienceStats] = None,
         stacked: bool = False,

@@ -13,19 +13,27 @@ pressure a given capacity implies.
 Everything is deterministic: eviction order depends only on the access
 sequence, and rebuild RNGs are derived from ``seed + user_id`` (the init
 draws are overwritten by the checkpoint load anyway).
+
+Byte accounting is split in two (DESIGN.md §14): blobs are *stored* in the
+compact format-2 codec (physical bytes, what a store holds), but every
+simulated fetch is *billed* at the logical npz size embedded in the compact
+header — the size the transport layer books for the same checkpoint — so
+swapping the physical codec or the store tier cannot move signatures.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.models.architecture import NextLocationModel
+from repro.nn.serialization import encode_compact, logical_nbytes
 from repro.pelican.deployment import rebuild_personal_model, serialize_personal_model
 from repro.pelican.stacking import WeightStackCache
+from repro.pelican.storage import BlobStore, MemoryBlobStore
 
 
 @dataclass
@@ -54,12 +62,14 @@ class ModelRegistry:
         Simulated checkpoint-store fetch bandwidth; a cold load of a
         ``b``-byte blob costs ``b * 8 / (storage_mbps * 1e6)`` seconds.
     store:
-        The durable blob store to read/write.  Defaults to a private
-        dict; a :class:`~repro.pelican.cluster.Cluster` passes one shared
-        dict to every shard's registry, modeling cluster-wide durable
-        storage under per-shard live caches — which is what lets a
-        failover shard cold-load a user it never registered
-        (DESIGN.md §9).
+        The durable blob store to read/write — any
+        :class:`~repro.pelican.storage.BlobStore` (or a plain dict, as the
+        parallel workers' replicas are).  Defaults to a private
+        :class:`~repro.pelican.storage.MemoryBlobStore`; a
+        :class:`~repro.pelican.cluster.Cluster` passes one shared store to
+        every shard's registry, modeling cluster-wide durable storage
+        under per-shard live caches — which is what lets a failover shard
+        cold-load a user it never registered (DESIGN.md §9, §14).
     """
 
     def __init__(
@@ -67,7 +77,7 @@ class ModelRegistry:
         capacity: Optional[int] = 64,
         seed: int = 0,
         storage_mbps: float = 400.0,
-        store: Optional[Dict[int, bytes]] = None,
+        store: Optional[Union[Dict[int, bytes], BlobStore]] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("registry capacity must be >= 1 (or None for unbounded)")
@@ -76,7 +86,9 @@ class ModelRegistry:
         self.capacity = capacity
         self.seed = seed
         self.storage_mbps = storage_mbps
-        self._blobs: Dict[int, bytes] = {} if store is None else store
+        self._blobs: Union[Dict[int, bytes], BlobStore] = (
+            MemoryBlobStore() if store is None else store
+        )
         self._live: "OrderedDict[int, NextLocationModel]" = OrderedDict()
         self.stats = RegistryStats()
         #: Stacked-weight cache over the live set (DESIGN.md §12).  The
@@ -101,19 +113,30 @@ class ModelRegistry:
 
     @property
     def stored_bytes(self) -> int:
-        """Total size of the durable blob store."""
+        """Total physical size of the durable blob store.
+
+        O(1) against a :class:`~repro.pelican.storage.BlobStore` (every
+        store maintains a running byte counter across all mutation paths,
+        including the cluster's direct writes that bypass any registry);
+        plain-dict replicas fall back to the recomputed sum.
+        """
+        total = getattr(self._blobs, "total_bytes", None)
+        if total is not None:
+            return total
         return sum(len(blob) for blob in self._blobs.values())
 
     # ------------------------------------------------------------------
     def register(self, user_id: int, model: NextLocationModel) -> int:
-        """Store a (re)deployed personal model; returns the blob size.
+        """Store a (re)deployed personal model; returns the logical blob size.
 
         The model is serialized into the durable store and becomes the
         most-recently-used live entry (a fresh deployment is about to be
-        queried).  Re-registering a user replaces both copies.
+        queried).  Re-registering a user replaces both copies.  Physical
+        storage uses the compact format-2 transcode; the returned size is
+        the logical npz size the transport layer would book.
         """
         blob = serialize_personal_model(model)
-        self._blobs[user_id] = blob
+        self._blobs[user_id] = encode_compact(blob)
         self._live.pop(user_id, None)
         self._live[user_id] = model
         self.stack_cache.invalidate(user_id)
@@ -128,7 +151,11 @@ class ModelRegistry:
             self.stats.hits += 1
             self._live.move_to_end(user_id)
             return self._live[user_id]
-        blob = self._blobs[user_id]
+        # Zero-copy read where the store supports it (mmap-backed tiers);
+        # rebuild copies every tensor out, so the view never outlives this
+        # call.
+        reader = getattr(self._blobs, "view", None)
+        blob = reader(user_id) if reader is not None else self._blobs[user_id]
         model = rebuild_personal_model(
             blob, np.random.default_rng(self.seed + user_id)
         )
@@ -152,10 +179,12 @@ class ModelRegistry:
     def _fetch_seconds(self, user_id: int, blob: bytes) -> float:
         """Simulated cost of fetching one checkpoint from durable storage.
 
+        Billed at the *logical* (npz-equivalent) blob size, not the
+        physical compact size, so the stored codec cannot move signatures.
         Overridable hook: the chaos layer's flaky registry charges failed
         fetch attempts here, on top of this clean baseline.
         """
-        return len(blob) * 8 / (self.storage_mbps * 1e6)
+        return logical_nbytes(blob) * 8 / (self.storage_mbps * 1e6)
 
     def evict(self, user_id: int) -> bool:
         """Explicitly drop a live model (the blob stays); True if it was live."""

@@ -1,0 +1,356 @@
+"""Tiered blob stores backing :class:`~repro.pelican.registry.ModelRegistry`.
+
+The registry durably holds one serialized checkpoint per registered user
+(paper §V-A3: personalized models uploaded for cloud serving).  A plain
+in-memory dict caps registered-user count by RAM long before the serving
+path saturates, so the store is an interface with three implementations
+(DESIGN.md §14):
+
+* :class:`MemoryBlobStore` — the historical dict semantics, still the
+  default.  Blobs live on the heap; resident memory is O(total blob bytes).
+* :class:`DiskBlobStore` — append-only segment files plus an in-memory
+  ``{user_id: (segment, offset, length)}`` index.  Reads are served through
+  ``mmap`` (page-cache backed, zero-copy via :meth:`BlobStore.view`), so
+  resident memory stays O(index), not O(blobs).
+* :class:`TieredBlobStore` — a bounded hot ``bytes`` cache layered over a
+  disk tier with deterministic LRU demotion.
+
+All three expose the mutable-mapping API the fleet/cluster/parallel layers
+already use on the shared store (``items``/``get``/``update``/indexing), so
+any store slots in wherever a ``Dict[int, bytes]`` was accepted.  Stores are
+byte-transparent: the bytes read back are exactly the bytes written, which
+is why store choice cannot move responses or signatures.
+"""
+
+from __future__ import annotations
+
+import mmap
+import shutil
+import tempfile
+from collections import OrderedDict
+from collections.abc import MutableMapping
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+#: Store kinds accepted by :func:`make_blob_store` and the ``--store`` knob.
+STORE_KINDS = ("memory", "disk", "tiered")
+
+#: Documented accounting estimate for one disk-index entry: a dict slot, an
+#: int key, and a three-int tuple.  Used by ``resident_bytes`` so the
+#: benchmark gate is deterministic rather than allocator-dependent.
+INDEX_ENTRY_BYTES = 120
+
+
+class BlobStore(MutableMapping):
+    """Mutable mapping of ``user_id -> bytes`` with residency accounting."""
+
+    kind: str = "abstract"
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical bytes of all live blobs (O(1) running counter)."""
+        raise NotImplementedError
+
+    def resident_bytes(self) -> int:
+        """Heap bytes this store keeps resident between calls."""
+        raise NotImplementedError
+
+    def view(self, user_id: int) -> Union[bytes, memoryview]:
+        """A read-only buffer over one blob; may avoid copying.
+
+        Unlike ``__getitem__`` (which always returns picklable ``bytes``),
+        a view may alias an ``mmap`` — callers must not hold it across
+        writes to the same store.
+        """
+        return self[user_id]
+
+    def close(self) -> None:
+        """Release file handles / maps; remove owned scratch directories."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(entries={len(self)}, total_bytes={self.total_bytes})"
+
+
+class MemoryBlobStore(BlobStore):
+    """Heap-resident store with the exact semantics of the historical dict."""
+
+    kind = "memory"
+
+    def __init__(self, initial: Optional[Dict[int, bytes]] = None) -> None:
+        self._data: Dict[int, bytes] = {}
+        self._total = 0
+        if initial:
+            self.update(initial)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    def resident_bytes(self) -> int:
+        return self._total
+
+    def __setitem__(self, user_id: int, blob: bytes) -> None:
+        blob = bytes(blob)
+        prior = self._data.get(user_id)
+        self._data[user_id] = blob
+        self._total += len(blob) - (0 if prior is None else len(prior))
+
+    def __getitem__(self, user_id: int) -> bytes:
+        return self._data[user_id]
+
+    def __delitem__(self, user_id: int) -> None:
+        blob = self._data.pop(user_id)
+        self._total -= len(blob)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._data
+
+
+class DiskBlobStore(BlobStore):
+    """Append-only segment files with an in-memory location index.
+
+    Writes append to the active segment (rolling at ``segment_bytes``);
+    overwrites simply append a new copy and repoint the index, leaving the
+    old bytes as garbage — redeploys are rare relative to reads, so no
+    compaction is needed at simulation scale.  Reads map the owning segment
+    once and slice it, so steady-state resident memory is the index alone.
+
+    Pickling or deep-copying a disk store snapshots the index and drops the
+    open handles/maps (they reopen lazily).  The copy shares the segment
+    files, so exactly one copy may keep writing — the read-replica pattern
+    the parallel layer uses.
+    """
+
+    kind = "disk"
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        segment_bytes: int = 16 * 1024 * 1024,
+    ) -> None:
+        self._owns_dir = directory is None
+        self._dir = Path(
+            tempfile.mkdtemp(prefix="repro-blobstore-") if directory is None else directory
+        )
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._segment_bytes = int(segment_bytes)
+        self._index: Dict[int, Tuple[int, int, int]] = {}
+        self._segment_sizes: Dict[int, int] = {}
+        self._active = 0
+        self._total = 0
+        self._writer = None
+        self._maps: Dict[int, Tuple[int, mmap.mmap]] = {}
+        self._retired: List[mmap.mmap] = []
+
+    # -- write path ----------------------------------------------------
+    def _segment_path(self, segment: int) -> Path:
+        return self._dir / f"segment-{segment:05d}.blob"
+
+    def _open_writer(self):
+        if self._writer is None:
+            self._writer = open(self._segment_path(self._active), "ab")
+        return self._writer
+
+    def __setitem__(self, user_id: int, blob: bytes) -> None:
+        data = bytes(blob)
+        size = self._segment_sizes.get(self._active, 0)
+        if size > 0 and size + len(data) > self._segment_bytes:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            self._active += 1
+            size = 0
+        writer = self._open_writer()
+        # No flush here: the read path flushes before (re)mapping the
+        # active segment, so bulk registration streams through the OS
+        # buffer at full speed.
+        writer.write(data)
+        prior = self._index.get(user_id)
+        # Overwrites repoint in place, preserving dict insertion order.
+        self._index[user_id] = (self._active, size, len(data))
+        self._segment_sizes[self._active] = size + len(data)
+        self._total += len(data) - (0 if prior is None else prior[2])
+
+    # -- read path -----------------------------------------------------
+    def _map_segment(self, segment: int, needed: int) -> mmap.mmap:
+        cached = self._maps.get(segment)
+        if cached is not None and cached[0] >= needed:
+            return cached[1]
+        if segment == self._active and self._writer is not None:
+            self._writer.flush()
+        size = self._segment_sizes[segment]
+        with open(self._segment_path(segment), "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), size, access=mmap.ACCESS_READ)
+        if cached is not None:
+            # A view handed out earlier may still alias the old map; close
+            # it only at store close.
+            self._retired.append(cached[1])
+        self._maps[segment] = (size, mapped)
+        return mapped
+
+    def view(self, user_id: int) -> memoryview:
+        segment, offset, length = self._index[user_id]
+        mapped = self._map_segment(segment, offset + length)
+        return memoryview(mapped)[offset : offset + length]
+
+    def __getitem__(self, user_id: int) -> bytes:
+        return bytes(self.view(user_id))
+
+    def __delitem__(self, user_id: int) -> None:
+        _, _, length = self._index.pop(user_id)
+        self._total -= length
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._index
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    def resident_bytes(self) -> int:
+        return len(self._index) * INDEX_ENTRY_BYTES
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        for mapped in [m for _, m in self._maps.values()] + self._retired:
+            try:
+                mapped.close()
+            except BufferError:
+                # A caller still holds a view over this map; leave it to
+                # process teardown rather than invalidating their buffer.
+                pass
+        self._maps.clear()
+        self._retired.clear()
+        if self._owns_dir:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __getstate__(self):
+        if self._writer is not None:
+            # Replicas read the files directly; whatever the index claims
+            # must be on disk before the snapshot is taken.
+            self._writer.flush()
+        state = self.__dict__.copy()
+        state["_writer"] = None
+        state["_maps"] = {}
+        state["_retired"] = []
+        # A restored copy is a read replica over shared files; it must not
+        # delete them on close.
+        state["_owns_dir"] = False
+        return state
+
+    def __deepcopy__(self, memo):
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__getstate__())
+        clone._index = dict(self._index)
+        clone._segment_sizes = dict(self._segment_sizes)
+        return clone
+
+
+class TieredBlobStore(BlobStore):
+    """Bounded hot ``bytes`` cache over a disk tier.
+
+    Writes go through to disk and admit the blob to the hot tier; reads
+    promote on hit and admit on miss.  When the hot tier exceeds
+    ``hot_bytes``, least-recently-used entries demote (they remain on
+    disk), so demotion depends only on the access sequence — deterministic
+    across runs.
+    """
+
+    kind = "tiered"
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        hot_bytes: int = 4 * 1024 * 1024,
+        disk: Optional[DiskBlobStore] = None,
+    ) -> None:
+        self._disk = DiskBlobStore(directory) if disk is None else disk
+        self._hot_bytes = int(hot_bytes)
+        self._hot: "OrderedDict[int, bytes]" = OrderedDict()
+        self._hot_total = 0
+        self.hot_hits = 0
+        self.hot_misses = 0
+
+    def _admit(self, user_id: int, blob: bytes) -> None:
+        prior = self._hot.pop(user_id, None)
+        if prior is not None:
+            self._hot_total -= len(prior)
+        self._hot[user_id] = blob
+        self._hot_total += len(blob)
+        while self._hot_total > self._hot_bytes and self._hot:
+            _, demoted = self._hot.popitem(last=False)
+            self._hot_total -= len(demoted)
+
+    def __setitem__(self, user_id: int, blob: bytes) -> None:
+        data = bytes(blob)
+        self._disk[user_id] = data
+        self._admit(user_id, data)
+
+    def __getitem__(self, user_id: int) -> bytes:
+        hot = self._hot.get(user_id)
+        if hot is not None:
+            self._hot.move_to_end(user_id)
+            self.hot_hits += 1
+            return hot
+        blob = self._disk[user_id]
+        self.hot_misses += 1
+        self._admit(user_id, blob)
+        return blob
+
+    def __delitem__(self, user_id: int) -> None:
+        del self._disk[user_id]
+        prior = self._hot.pop(user_id, None)
+        if prior is not None:
+            self._hot_total -= len(prior)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._disk)
+
+    def __len__(self) -> int:
+        return len(self._disk)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._disk
+
+    @property
+    def total_bytes(self) -> int:
+        return self._disk.total_bytes
+
+    def resident_bytes(self) -> int:
+        return self._hot_total + self._disk.resident_bytes()
+
+    def close(self) -> None:
+        self._hot.clear()
+        self._hot_total = 0
+        self._disk.close()
+
+
+def make_blob_store(
+    kind: str = "memory",
+    directory: Optional[Union[str, Path]] = None,
+    hot_bytes: int = 4 * 1024 * 1024,
+) -> BlobStore:
+    """Build a store by kind (``memory`` / ``disk`` / ``tiered``)."""
+    if kind == "memory":
+        return MemoryBlobStore()
+    if kind == "disk":
+        return DiskBlobStore(directory)
+    if kind == "tiered":
+        return TieredBlobStore(directory, hot_bytes=hot_bytes)
+    raise ValueError(f"unknown blob store kind {kind!r}; expected one of {STORE_KINDS}")

@@ -31,6 +31,7 @@ from repro.pelican.deployment import (
     DeploymentMode,
     ServiceEndpoint,
     deploy_cloud,
+    deploy_cloud_delta,
     deploy_local,
 )
 from repro.pelican.device import DevicePersonalizer, DeviceProfile
@@ -49,6 +50,10 @@ class PelicanConfig:
     privacy_temperature: float = DEFAULT_PRIVACY_TEMPERATURE
     deployment: DeploymentMode = DeploymentMode.LOCAL
     seed: int = 0
+    #: Ship cloud *re*deploys as weight deltas against the prior blob
+    #: (DESIGN.md §14).  Off by default: delta uploads book fewer network
+    #: bytes, so enabling this legitimately moves network signatures.
+    delta_updates: bool = False
 
 
 @dataclass
@@ -72,6 +77,10 @@ class Pelican:
         self.channel = Channel()
         self._general_blob: Optional[bytes] = None
         self.users: Dict[int, OnboardedUser] = {}
+        #: Last uploaded compact blob per cloud user — the baseline the
+        #: next delta redeploy encodes against.  Only populated when
+        #: ``config.delta_updates`` is on.
+        self._deployed_blobs: Dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     # Phase 1
@@ -124,7 +133,15 @@ class Pelican:
         mode = deployment or self.config.deployment
         rng = np.random.default_rng(self.config.seed + user_id + 10_000)
         if mode == DeploymentMode.CLOUD:
-            endpoint, _ = deploy_cloud(personal, self.spec, self.channel, rng)
+            if self.config.delta_updates:
+                # First deploy ships the full blob either way; remember it
+                # so the next redeploy can delta-encode against it.
+                endpoint, _, stored = deploy_cloud_delta(
+                    personal, self.spec, self.channel, rng, None
+                )
+                self._deployed_blobs[user_id] = stored
+            else:
+                endpoint, _ = deploy_cloud(personal, self.spec, self.channel, rng)
         else:
             endpoint = deploy_local(personal, self.spec)
         user = OnboardedUser(
@@ -173,7 +190,17 @@ class Pelican:
         )
         mode = user.endpoint.mode
         if mode == DeploymentMode.CLOUD:
-            endpoint, _ = deploy_cloud(result.model, self.spec, self.channel, rng)
+            if self.config.delta_updates:
+                endpoint, _, stored = deploy_cloud_delta(
+                    result.model,
+                    self.spec,
+                    self.channel,
+                    rng,
+                    self._deployed_blobs.get(user_id),
+                )
+                self._deployed_blobs[user_id] = stored
+            else:
+                endpoint, _ = deploy_cloud(result.model, self.spec, self.channel, rng)
         else:
             endpoint = deploy_local(result.model, self.spec)
         # The user keeps their query ledger across redeploys: an update

@@ -17,6 +17,7 @@ import pytest
 
 from repro.data import SpatialLevel
 from repro.models import GeneralModelConfig, NextLocationModel, PersonalizationConfig
+from repro.nn.serialization import logical_nbytes
 from repro.pelican import (
     CHAOS_POLICIES,
     Channel,
@@ -189,7 +190,7 @@ class TestFlakyRegistry:
         flaky, _ = self._thrash(ChaosPolicy())
         assert flaky.chaos.cold_load_failures == 0
         clean_seconds = sum(
-            len(flaky._blobs[uid]) * 8 / (flaky.storage_mbps * 1e6)
+            logical_nbytes(flaky._blobs[uid]) * 8 / (flaky.storage_mbps * 1e6)
             for uid in (1, 2, 1, 2, 1)
         )
         np.testing.assert_allclose(flaky.stats.simulated_load_seconds, clean_seconds)

@@ -35,7 +35,13 @@ fleet layer advertises:
   generated schedule on worker processes (``workers ∈ {2, 4}``, stacked
   on and off, shard-outage chaos so the failover hand-off runs) is
   bit-identical to the serial replay: responses, per-endpoint query
-  ledgers, and ``totals_signature()`` all match exactly.
+  ledgers, and ``totals_signature()`` all match exactly;
+* **store-axis identity** (DESIGN.md §14) — replaying a lifecycle
+  schedule over a memory-, disk-, or tiered-backed registry store
+  returns bit-identical responses, per-endpoint ledgers, eviction logs,
+  and ``FleetReport.signature()`` — stores are byte-transparent — and a
+  2-shard outage run whose failover cold-loads come off the disk tier
+  matches the in-memory run exactly.
 
 The schedule count is env-tunable so CI can smoke a subset::
 
@@ -559,6 +565,100 @@ def test_parallel_cluster_differential_sweep(base, tiny_corpus, seed, stacked):
     serial = run(0)
     for workers in (2, 4):
         assert run(workers) == serial
+
+
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_store_axis_differential_sweep(base, tiny_corpus, seed, tmp_path):
+    """Memory vs disk vs tiered registry stores over generated lifecycle
+    schedules (DESIGN.md §14): stores are byte-transparent, so responses,
+    per-endpoint ledgers, eviction logs, and ``FleetReport.signature()``
+    must all be bit-identical across the store axis."""
+    from repro.pelican import make_blob_store
+
+    pristine, _, splits = base
+    schedule = generate_schedule(
+        tiny_corpus, splits, 6000 + seed, include_onboards=True
+    )
+
+    def run(kind):
+        store = make_blob_store(kind, directory=tmp_path / f"{kind}-{seed}")
+        fleet = Fleet(
+            copy.deepcopy(pristine), registry_capacity=1, registry_store=store
+        )
+        try:
+            responses = fleet.run(schedule)
+            ledgers = {
+                uid: (
+                    user.endpoint.stats.queries,
+                    user.endpoint.stats.simulated_network_seconds,
+                )
+                for uid, user in fleet.pelican.users.items()
+            }
+            evictions = tuple(fleet.registry.stats.eviction_log)
+            return responses, ledgers, evictions, fleet.report.signature()
+        finally:
+            store.close()
+
+    reference = run("memory")
+    for kind in ("disk", "tiered"):
+        assert run(kind) == reference
+
+
+@pytest.mark.parametrize("seed", range(min(NUM_LIFECYCLE_SCHEDULES, 7)))
+def test_store_disk_failover_cold_loads(base, tiny_corpus, seed, tmp_path):
+    """A 2-shard cluster under shard-outage chaos fails queries over to
+    the surviving shard, whose registry cold-loads the checkpoint off the
+    cluster-wide durable store (DESIGN.md §14).  With that store on the
+    disk tier the run must stay bit-identical to the in-memory run —
+    responses and ``totals_signature()`` — while actually exercising
+    failover cold loads."""
+    from repro.pelican import DiskBlobStore, totals_signature
+
+    pristine, _, splits = base
+    # All-cloud onboards + round-robin queries over a wide tick span:
+    # every user's checkpoint lives in the durable store, and the span
+    # (≈20 time units vs. outage rate 1.5 / duration 25) makes failover
+    # reads off the durable tier a certainty — verified for the seed
+    # window [0, 7) this test parametrizes over.
+    rng = np.random.default_rng((29, seed))
+    schedule = FleetSchedule()
+    users = list(tiny_corpus.personal_ids)
+    for uid in users:
+        schedule.onboard(
+            float(rng.uniform(0.0, 2.0)),
+            uid,
+            splits[uid][0],
+            deployment=DeploymentMode.CLOUD,
+        )
+    tick = 2.0
+    for position in range(10 * len(users)):
+        tick += float(rng.choice([0.0, 1.0, 2.0]))
+        uid = users[position % len(users)]
+        holdout = splits[uid][1]
+        window = holdout.windows[int(rng.integers(0, len(holdout.windows)))]
+        schedule.query(tick, uid, window.history, k=int(rng.integers(1, 5)))
+
+    def run(store):
+        cluster = Cluster.from_trained(
+            copy.deepcopy(pristine),
+            num_shards=2,
+            registry_capacity=1,
+            policy=chaos_policy("shard_outage", seed=seed),
+            store=store,
+        )
+        try:
+            responses = cluster.run(schedule)
+            signature = totals_signature(cluster.signature())
+            return responses, signature
+        finally:
+            cluster.close()
+
+    memory = run(None)
+    disk = run(DiskBlobStore(tmp_path / f"cluster-{seed}"))
+    assert disk == memory
+    # The failover shard's registry starts cold, so failed-over queries
+    # must have cold-loaded their checkpoints off the durable tier.
+    assert memory[1]["registry_cold_loads"] > 0
 
 
 @pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
