@@ -4,13 +4,29 @@ All benchmarks share one session-scoped :class:`Pipeline` at benchmark
 scale, so models are trained once and reused across table/figure targets.
 Each benchmark runs its experiment exactly once (``pedantic`` with one
 round) — these are experiment-regeneration targets, not micro-benchmarks.
+
+Serving-layer benchmarks (cluster scaling, resilience overhead, parallel
+cluster, service load) all need the same artifact: a trained Pelican at
+the ``small`` scale with every personal user onboarded and a concurrent
+request mix over the holdout windows.  :func:`trained_deployment` builds
+it once per parameter tuple and caches it for the session, so the files
+stop retraining identical deployments.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Dict, Tuple
+
 import pytest
 
+from repro.data.corpus import generate_corpus
+from repro.data.features import SpatialLevel
 from repro.eval import ExperimentScale, Pipeline
+from repro.eval.fleet import training_configs
+from repro.pelican import DeploymentMode, Pelican, PelicanConfig, QueryRequest
+
+LEVEL = SpatialLevel.BUILDING
 
 
 def pytest_collection_modifyitems(config, items):
@@ -27,3 +43,63 @@ def pipeline() -> Pipeline:
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def trained_deployment():
+    """Factory for cached trained-and-onboarded serving deployments.
+
+    ``build(queries_per_user=32, k=3, hidden_size=None,
+    num_personal_users=None)`` returns ``(pelican, holdouts, requests)``:
+    a ``small``-scale fast-setup Pelican with every personal user
+    onboarded (alternating cloud/local), each user's holdout split, and
+    the concurrent request mix benchmarks serve.  Identical parameter
+    tuples share one training for the whole session.  The returned
+    pelican is the cached instance — ``copy.deepcopy`` it before
+    building fleets/clusters that serve traffic.
+    """
+    cache: Dict[Tuple, Tuple] = {}
+
+    def build(queries_per_user=32, k=3, hidden_size=None, num_personal_users=None):
+        key = (queries_per_user, k, hidden_size, num_personal_users)
+        if key not in cache:
+            scale = ExperimentScale.small()
+            general, personalization = training_configs(scale, fast_setup=True)
+            if hidden_size is not None:
+                general = replace(general, hidden_size=hidden_size)
+            corpus_config = scale.corpus
+            if num_personal_users is not None:
+                corpus_config = replace(
+                    corpus_config, num_personal_users=num_personal_users
+                )
+            corpus = generate_corpus(corpus_config)
+            pelican = Pelican(
+                corpus.spec(LEVEL),
+                PelicanConfig(
+                    general=general,
+                    personalization=personalization,
+                    seed=corpus_config.seed,
+                ),
+            )
+            train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+            pelican.initial_training(train)
+            holdouts = {}
+            for i, uid in enumerate(corpus.personal_ids):
+                user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
+                mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
+                pelican.onboard_user(uid, user_train, deployment=mode)
+                holdouts[uid] = holdout
+            requests = [
+                QueryRequest(
+                    user_id=uid,
+                    history=tuple(holdout.windows[j % len(holdout.windows)].history),
+                    k=k,
+                )
+                for j in range(queries_per_user)
+                for uid, holdout in holdouts.items()
+            ]
+            cache[key] = (pelican, holdouts, requests)
+        pelican, holdouts, requests = cache[key]
+        return pelican, holdouts, list(requests)
+
+    return build

@@ -36,8 +36,9 @@ REPO_ROOT = BENCH_DIR.parent
 # cluster shard-scaling comparison, the worker-pool parallel serving
 # comparison, the regimes x chaos scenario matrix, the privacy-audit
 # comparison, the resilience clean-path overhead gate, the cross-model
-# stacked dispatch comparison, and the storage tiering gates (all run
-# in seconds; the experiment-regeneration targets need --full).
+# stacked dispatch comparison, the storage tiering gates, and the
+# front-door micro-batching gate (all run in seconds; the
+# experiment-regeneration targets need --full).
 DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_nn_microbench.py"),
     str(BENCH_DIR / "test_fleet_serving.py"),
@@ -48,6 +49,7 @@ DEFAULT_TARGETS = [
     str(BENCH_DIR / "test_resilience_overhead.py"),
     str(BENCH_DIR / "test_stacked_dispatch.py"),
     str(BENCH_DIR / "test_storage_tiering.py"),
+    str(BENCH_DIR / "test_service_load.py"),
 ]
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 OUTPUT_PATH = BENCH_DIR / "BENCH_latest.json"

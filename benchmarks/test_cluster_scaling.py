@@ -26,20 +26,9 @@ import time
 
 import pytest
 
-from repro.data.corpus import generate_corpus
-from repro.data.features import SpatialLevel
-from repro.eval import ExperimentScale, responses_match
-from repro.eval.fleet import training_configs
-from repro.pelican import (
-    Cluster,
-    DeploymentMode,
-    Fleet,
-    Pelican,
-    PelicanConfig,
-    QueryRequest,
-)
+from repro.eval import responses_match
+from repro.pelican import Cluster, Fleet
 
-LEVEL = SpatialLevel.BUILDING
 SHARD_COUNTS = (1, 2, 4)
 QUERIES_PER_USER = 32
 # Same bar (and CI relaxation) as the fleet serving benchmark.
@@ -49,37 +38,15 @@ MAX_SHARD_OVERHEAD = 4.0 if os.environ.get("CI") else 2.0
 
 
 @pytest.fixture(scope="module")
-def deployment():
+def deployment(trained_deployment):
     """One trained + onboarded Pelican, its request mix, and per-K clusters.
 
-    Training happens once; every shard count adopts a deepcopy of the same
-    deployment through ``Cluster.from_trained``, so the comparison across
-    shard counts isolates the routing/serving layer.
+    Training happens once (the session-cached ``trained_deployment``
+    fixture); every shard count adopts a deepcopy of the same deployment
+    through ``Cluster.from_trained``, so the comparison across shard
+    counts isolates the routing/serving layer.
     """
-    scale = ExperimentScale.small()
-    general, personalization = training_configs(scale, fast_setup=True)
-    corpus = generate_corpus(scale.corpus)
-    pelican = Pelican(
-        corpus.spec(LEVEL),
-        PelicanConfig(
-            general=general,
-            personalization=personalization,
-            seed=scale.corpus.seed,
-        ),
-    )
-    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
-    pelican.initial_training(train)
-    holdouts = {}
-    for i, uid in enumerate(corpus.personal_ids):
-        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
-        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
-        pelican.onboard_user(uid, user_train, deployment=mode)
-        holdouts[uid] = holdout
-    requests = [
-        QueryRequest(user_id=uid, history=tuple(holdout.windows[j % len(holdout.windows)].history), k=3)
-        for j in range(QUERIES_PER_USER)
-        for uid, holdout in holdouts.items()
-    ]
+    pelican, _, requests = trained_deployment(queries_per_user=QUERIES_PER_USER)
     fleet = Fleet(copy.deepcopy(pelican))
     clusters = {
         num_shards: Cluster.from_trained(copy.deepcopy(pelican), num_shards=num_shards)

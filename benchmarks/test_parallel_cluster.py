@@ -32,24 +32,12 @@ from __future__ import annotations
 import copy
 import os
 import time
-from dataclasses import replace
 
 import pytest
 
-from repro.data.corpus import generate_corpus
-from repro.data.features import SpatialLevel
-from repro.eval import ExperimentScale, responses_match
-from repro.eval.fleet import training_configs
-from repro.pelican import (
-    Cluster,
-    DeploymentMode,
-    Pelican,
-    PelicanConfig,
-    QueryRequest,
-    totals_signature,
-)
+from repro.eval import responses_match
+from repro.pelican import Cluster, totals_signature
 
-LEVEL = SpatialLevel.BUILDING
 NUM_SHARDS = 4
 NUM_WORKERS = 4
 NUM_USERS = 8  # exactly two per shard under least_loaded placement
@@ -69,38 +57,13 @@ else:
 
 
 @pytest.fixture(scope="module")
-def deployment():
+def deployment(trained_deployment):
     """One trained + onboarded Pelican and its concurrent request mix."""
-    scale = ExperimentScale.small()
-    general, personalization = training_configs(scale, fast_setup=True)
-    general = replace(general, hidden_size=HIDDEN_SIZE)
-    corpus_config = replace(scale.corpus, num_personal_users=NUM_USERS)
-    corpus = generate_corpus(corpus_config)
-    pelican = Pelican(
-        corpus.spec(LEVEL),
-        PelicanConfig(
-            general=general,
-            personalization=personalization,
-            seed=corpus_config.seed,
-        ),
+    pelican, _, requests = trained_deployment(
+        queries_per_user=QUERIES_PER_USER,
+        hidden_size=HIDDEN_SIZE,
+        num_personal_users=NUM_USERS,
     )
-    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
-    pelican.initial_training(train)
-    holdouts = {}
-    for i, uid in enumerate(corpus.personal_ids):
-        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
-        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
-        pelican.onboard_user(uid, user_train, deployment=mode)
-        holdouts[uid] = holdout
-    requests = [
-        QueryRequest(
-            user_id=uid,
-            history=tuple(holdout.windows[j % len(holdout.windows)].history),
-            k=3,
-        )
-        for j in range(QUERIES_PER_USER)
-        for uid, holdout in holdouts.items()
-    ]
     return pelican, requests
 
 

@@ -27,20 +27,9 @@ import time
 
 import pytest
 
-from repro.data.corpus import generate_corpus
-from repro.data.features import SpatialLevel
 from repro.eval import ExperimentScale
-from repro.eval.fleet import training_configs
-from repro.pelican import (
-    DeploymentMode,
-    Fleet,
-    Pelican,
-    PelicanConfig,
-    QueryRequest,
-    resilience_policy,
-)
+from repro.pelican import Fleet, resilience_policy
 
-LEVEL = SpatialLevel.BUILDING
 QUERIES_PER_USER = 32
 # The PR's acceptance bar; CI runners are too noisy to pin 5%.
 MAX_OVERHEAD = 1.5 if os.environ.get("CI") else 1.05
@@ -48,40 +37,15 @@ BEST_OF_ROUNDS = 10
 
 
 @pytest.fixture(scope="module")
-def deployment():
+def deployment(trained_deployment):
     """(bare fleet, resilient fleet, requests) over one shared training."""
-    scale = ExperimentScale.small()
-    general, personalization = training_configs(scale, fast_setup=True)
-    corpus = generate_corpus(scale.corpus)
-    pelican = Pelican(
-        corpus.spec(LEVEL),
-        PelicanConfig(
-            general=general,
-            personalization=personalization,
-            seed=scale.corpus.seed,
-        ),
-    )
-    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
-    pelican.initial_training(train)
-    holdouts = {}
-    for i, uid in enumerate(corpus.personal_ids):
-        user_train, holdout = corpus.user_dataset(uid, LEVEL).split(0.8)
-        mode = DeploymentMode.CLOUD if i % 2 else DeploymentMode.LOCAL
-        pelican.onboard_user(uid, user_train, deployment=mode)
-        holdouts[uid] = holdout
-    requests = [
-        QueryRequest(
-            user_id=uid,
-            history=tuple(holdout.windows[j % len(holdout.windows)].history),
-            k=3,
-        )
-        for j in range(QUERIES_PER_USER)
-        for uid, holdout in holdouts.items()
-    ]
+    pelican, _, requests = trained_deployment(queries_per_user=QUERIES_PER_USER)
     bare = Fleet(copy.deepcopy(pelican))
     resilient = Fleet(
         copy.deepcopy(pelican),
-        resilience=resilience_policy("default", seed=scale.corpus.seed),
+        resilience=resilience_policy(
+            "default", seed=ExperimentScale.small().corpus.seed
+        ),
     )
     return bare, resilient, requests
 

@@ -1,0 +1,130 @@
+"""Service-load benchmark: micro-batching vs per-request admission
+(DESIGN.md §15).
+
+Compiles one open-loop generated workload — ~1000 simulated devices
+multiplexed over the ``small``-scale deployment's users, Poisson
+arrivals — and pushes it through the service front door twice:
+
+* **per-request admission** (``window=0, max_batch=1``): every arrival
+  flushes alone, so the fleet dispatcher serves batches of one — the
+  front-door equivalent of the looped reference path;
+* **micro-batching** (a real window + ``max_batch``): arrivals coalesce
+  into flush batches that the event clock serves as one dispatch.
+
+Two properties are pinned:
+
+* **parity, before and after timing** — both admission modes answer
+  every query with identical rankings (1e-9-relative confidences) in
+  the same per-seq order; the timing loop must not diverge them;
+* **micro-batching pays** — the batched run beats per-request admission
+  by the acceptance bar (relaxed under CI, where runner noise and
+  reduced parallelism blunt the win).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import pytest
+
+from repro.eval import responses_match
+from repro.pelican import Fleet, ServiceConfig, ServiceFrontDoor
+from repro.traffic import RegimeTraffic, TrafficConfig, TrafficGenerator
+
+TARGET_DEVICES = 1000
+RATE = 0.05
+HORIZON = 30.0
+MIN_SPEEDUP = 1.2 if os.environ.get("CI") else 1.5
+BEST_OF_ROUNDS = 3
+
+MICRO_BATCH = ServiceConfig(window=0.5, max_batch=64, queue_capacity=None)
+PER_REQUEST = ServiceConfig(window=0.0, max_batch=1, queue_capacity=None)
+
+
+@pytest.fixture(scope="module")
+def service_workload(trained_deployment):
+    """(onboarded pelican, compiled schedule, device count)."""
+    pelican, holdouts, _ = trained_deployment(queries_per_user=1)
+    devices_per_user = max(1, round(TARGET_DEVICES / len(holdouts)))
+    traffic = TrafficConfig(
+        seed=29,
+        horizon=HORIZON,
+        regimes=(RegimeTraffic(rate=RATE),),
+        devices_per_user=devices_per_user,
+    )
+    schedule = TrafficGenerator(traffic).compile(
+        {uid: [w.history for w in holdout.windows] for uid, holdout in holdouts.items()}
+    )
+    return pelican, schedule, devices_per_user * len(holdouts)
+
+
+@pytest.fixture(scope="module")
+def doors(service_workload):
+    """Module-lived front doors, one per admission mode (queries are
+    pure, so the same door replays the workload across rounds)."""
+    pelican, _, _ = service_workload
+    return (
+        ServiceFrontDoor(Fleet(copy.deepcopy(pelican)), MICRO_BATCH),
+        ServiceFrontDoor(Fleet(copy.deepcopy(pelican)), PER_REQUEST),
+    )
+
+
+def by_seq(responses):
+    return sorted(responses, key=lambda r: r.seq)
+
+
+@pytest.mark.parametrize("mode", ["microbatch", "per_request"])
+def test_service_load_serve(benchmark, doors, service_workload, mode):
+    """One benchmark entry per admission mode."""
+    batched, per_request = doors
+    _, schedule, _ = service_workload
+    front = batched if mode == "microbatch" else per_request
+    benchmark(front.run, schedule)
+
+
+def test_micro_batching_parity_and_speedup(service_workload):
+    """Acceptance: identical answers in both admission modes, before and
+    after the timing loop, and micro-batching beats per-request by the
+    bar at ~1k devices."""
+    pelican, schedule, num_devices = service_workload
+    assert num_devices >= TARGET_DEVICES * 0.9
+
+    batched = ServiceFrontDoor(Fleet(copy.deepcopy(pelican)), MICRO_BATCH)
+    per_request = ServiceFrontDoor(Fleet(copy.deepcopy(pelican)), PER_REQUEST)
+
+    # Parity BEFORE timing (also warms both fleets' registries).
+    reference = by_seq(per_request.run(schedule))
+    first = by_seq(batched.run(schedule))
+    assert [r.seq for r in first] == [r.seq for r in reference]
+    assert responses_match(first, reference)
+    assert batched.stats.rejected == per_request.stats.rejected == 0
+    assert batched.book.answered == per_request.book.answered
+    assert batched.stats.flushes < per_request.stats.flushes
+
+    def best_of(front):
+        best, result = float("inf"), None
+        for _ in range(BEST_OF_ROUNDS):
+            start = time.perf_counter()
+            result = front.run(schedule)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    batched_seconds, batched_responses = best_of(batched)
+    per_request_seconds, per_request_responses = best_of(per_request)
+
+    # Parity AFTER timing: the loop did not diverge the answers.
+    assert responses_match(by_seq(batched_responses), by_seq(per_request_responses))
+
+    speedup = per_request_seconds / batched_seconds
+    print(
+        f"\nservice load ({num_devices} devices, "
+        f"{batched.stats.generated // (BEST_OF_ROUNDS + 1)} queries/run): "
+        f"micro-batch {batched_seconds * 1e3:.1f}ms vs per-request "
+        f"{per_request_seconds * 1e3:.1f}ms ({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batching only {speedup:.2f}x per-request admission "
+        f"({batched_seconds * 1e3:.1f}ms vs {per_request_seconds * 1e3:.1f}ms)"
+    )

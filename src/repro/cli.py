@@ -8,6 +8,9 @@ Commands mirror the reproduction workflow:
 * ``fleet``      — simulate fleet-scale serving: batched vs. looped queries,
   on one cloud or a sharded cluster (``--shards``), optionally scattered
   onto worker processes (``--workers``);
+* ``serve-load`` — open-loop generated traffic (Poisson arrivals, diurnal
+  curves, flash crowds) through the service front door: admission control,
+  micro-batching, and the latency/SLO book;
 * ``scenarios``  — stress matrix: mobility regimes × chaos policies;
 * ``audit``      — privacy audit matrix: inversion adversaries attack the
   live deployment through the serving stack, across defenses and regimes;
@@ -21,6 +24,10 @@ Examples::
     python -m repro fleet --scale tiny --fast
     python -m repro fleet --scale tiny --fast --shards 4 --placement hash
     python -m repro fleet --scale tiny --fast --store disk
+    python -m repro serve-load --scale tiny --fast
+    python -m repro serve-load --scale tiny --fast --shards 2 --policy lossy_network
+    python -m repro serve-load --scale tiny --fast --devices-per-user 8 \\
+        --rate 0.1 --flash-rate 0.3 --flash-start 40 --flash-duration 20
     python -m repro scenarios --scale tiny --regimes campus commuter tourist \\
         --policies none lossy_network churn --fast
     python -m repro scenarios --scale tiny --shards 2 --policies none shard_outage --fast
@@ -238,6 +245,64 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if result.parity else 1
 
 
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    """Generate open-loop traffic and serve it through the front door."""
+    from repro.eval import render_service_load, run_service_load
+
+    if args.capacity < 0:
+        print(f"--capacity must be >= 0, got {args.capacity}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers and args.shards == 1:
+        print("--workers requires --shards > 1 (nothing to scatter)", file=sys.stderr)
+        return 2
+    capacity = args.capacity if args.capacity > 0 else None
+    queue_capacity = args.queue_capacity if args.queue_capacity > 0 else None
+    shards = f", {args.shards} shards ({args.placement})" if args.shards > 1 else ""
+    if args.workers:
+        shards += f", {args.workers} workers"
+    print(
+        f"[serve-load] generating {args.devices_per_user} devices/user of "
+        f"{'/'.join(args.regimes)} traffic at rate {args.rate:g}/s over "
+        f"{args.horizon:g}s at scale={args.scale} "
+        f"({'fast setup, ' if args.fast else ''}window {args.window:g}s, "
+        f"max batch {args.max_batch}, chaos {args.policy}{shards})..."
+    )
+    result = run_service_load(
+        _SCALES[args.scale](),
+        regimes=args.regimes,
+        rate=args.rate,
+        horizon=args.horizon,
+        devices_per_user=args.devices_per_user,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period=args.diurnal_period,
+        flash_rate=args.flash_rate,
+        flash_start=args.flash_start,
+        flash_duration=args.flash_duration,
+        update_prob=args.update_prob,
+        window=args.window,
+        max_batch=args.max_batch,
+        queue_capacity=queue_capacity,
+        policy=args.policy,
+        resilience=args.resilience,
+        deadline=args.deadline,
+        registry_capacity=capacity,
+        num_shards=args.shards,
+        placement=args.placement,
+        workers=args.workers,
+        store=args.store,
+        stacked=args.stacked,
+        fast_setup=args.fast,
+    )
+    print(render_service_load(result))
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     """Run the regimes × chaos-policies stress matrix and print it."""
     from repro.eval import render_scenarios, run_scenario_suite
@@ -421,6 +486,105 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.data.regimes import REGIMES
     from repro.pelican.chaos import CHAOS_POLICIES
+
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="open-loop generated traffic through the service front door "
+        "(admission control, micro-batching, latency/SLO book)",
+    )
+    serve_load.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    serve_load.add_argument(
+        "--regimes", nargs="+", choices=sorted(REGIMES), default=["campus"],
+        help="traffic regime slices; users partition round-robin across "
+        "them (default: campus)",
+    )
+    serve_load.add_argument(
+        "--rate", type=float, default=0.05,
+        help="mean arrivals per device per simulated second (default 0.05)",
+    )
+    serve_load.add_argument(
+        "--horizon", type=float, default=120.0,
+        help="length of the arrival window in simulated seconds (default 120)",
+    )
+    serve_load.add_argument(
+        "--devices-per-user", type=int, default=4,
+        help="independently-arriving simulated devices per onboarded user (default 4)",
+    )
+    serve_load.add_argument(
+        "--diurnal-amplitude", type=float, default=0.0,
+        help="sinusoidal rate modulation depth in [0,1]; 0 = flat (default 0)",
+    )
+    serve_load.add_argument(
+        "--diurnal-period", type=float, default=0.0,
+        help="period of the diurnal curve in simulated seconds (default 0 = flat)",
+    )
+    serve_load.add_argument(
+        "--flash-rate", type=float, default=0.0,
+        help="extra arrivals per device per second during the flash crowd "
+        "(default 0 = no crowd)",
+    )
+    serve_load.add_argument(
+        "--flash-start", type=float, default=0.0,
+        help="flash-crowd window start in traffic time (default 0)",
+    )
+    serve_load.add_argument(
+        "--flash-duration", type=float, default=20.0,
+        help="flash-crowd window length in simulated seconds (default 20)",
+    )
+    serve_load.add_argument(
+        "--update-prob", type=float, default=0.0,
+        help="per-user probability of one mid-run model update (default 0)",
+    )
+    serve_load.add_argument(
+        "--window", type=float, default=0.05,
+        help="micro-batching window in simulated seconds; a pending batch "
+        "flushes after this long or at --max-batch requests, whichever "
+        "first (default 0.05)",
+    )
+    serve_load.add_argument(
+        "--max-batch", type=int, default=16,
+        help="admission queue flush size (default 16)",
+    )
+    serve_load.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="pending-queue bound; arrivals past it are rejected at the "
+        "door, 0 means unbounded (default 256)",
+    )
+    serve_load.add_argument(
+        "--policy", choices=sorted(CHAOS_POLICIES), default="none",
+        help="chaos policy the serving stack runs under (default: none)",
+    )
+    serve_load.add_argument(
+        "--capacity", type=int, default=64,
+        help="cloud registry live-model capacity per shard; 0 means unbounded (default 64)",
+    )
+    serve_load.add_argument(
+        "--shards", type=int, default=1,
+        help="cloud shard count; >1 serves through a placement-routed cluster (default 1)",
+    )
+    serve_load.add_argument(
+        "--placement", choices=sorted(PLACEMENT_POLICIES), default="hash",
+        help="user->shard placement policy when --shards > 1 (default hash)",
+    )
+    serve_load.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes serving the shards; 0 = in-process serial "
+        "(default 0, needs --shards > 1, answers are bit-identical)",
+    )
+    serve_load.add_argument(
+        "--store", choices=sorted(STORE_KINDS), default="memory",
+        help="durable blob-store tier behind the registry (default memory)",
+    )
+    serve_load.add_argument(
+        "--stacked", action="store_true",
+        help="serve cloud groups via cross-model stacked dispatch (same answers)",
+    )
+    serve_load.add_argument(
+        "--fast", action="store_true",
+        help="cut training epochs so setup takes seconds (serving-only results)",
+    )
+    _add_resilience_args(serve_load)
+    serve_load.set_defaults(func=_cmd_serve_load)
 
     scenarios = sub.add_parser(
         "scenarios", help="stress matrix: mobility regimes x chaos policies"

@@ -280,3 +280,39 @@ def render_fleet(result: "FleetThroughputResult") -> str:
                 f"{shard.registry.evictions}e"
             )
     return "\n".join(lines)
+
+
+def render_service_load(result: "ServiceLoadResult") -> str:
+    """Service front-door load rendering (DESIGN.md §15)."""
+    stack = f" on {result.num_shards} shards" if result.num_shards > 1 else ""
+    if result.workers:
+        stack += f" x {result.workers} workers"
+    if result.stacked:
+        stack += " (stacked dispatch)"
+    if result.store != "memory":
+        stack += f", {result.store} store"
+    knobs = f"chaos {result.policy}, resilience {result.resilience}"
+    sig = result.signature
+    lines = [
+        f"service load @ {result.scale}: {result.num_devices} devices over "
+        f"{result.num_users} users{stack} ({knobs})",
+        f"  traffic : {', '.join(result.regimes)} regime(s), "
+        f"{result.events} events compiled, {result.generated} queries generated",
+        f"  admission: {result.generated - result.rejected} admitted, "
+        f"{result.rejected} rejected, {result.shed} shed, "
+        f"{result.flushes} flushes (mean batch {result.mean_flush_size:.1f}, "
+        f"peak queue {sig['service_max_queue_depth']})",
+        f"  latency : p50 {result.p50 * 1e3:.1f} ms, "
+        f"p95 {result.p95 * 1e3:.1f} ms, p99 {result.p99 * 1e3:.1f} ms simulated "
+        f"(queue {sig['service_queue_seconds']:.2f}s, "
+        f"defer {sig['service_defer_seconds']:.2f}s, "
+        f"service {sig['service_service_seconds']:.2f}s total)",
+        f"  SLO     : {result.slo_attainment:.2%} within "
+        f"{result.slo_deadline:g}s deadline "
+        f"({sig['service_on_time']}/{result.generated} on time)",
+        f"  books   : {sig['cloud_macs'] / 1e6:.1f} cloud MMACs, "
+        f"{sig['network_seconds']:.2f}s network, "
+        f"{sig['registry_cold_loads']} cold loads "
+        f"({result.wall_seconds:.2f}s wall)",
+    ]
+    return "\n".join(lines)

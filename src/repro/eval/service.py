@@ -1,0 +1,297 @@
+"""Service-load experiment: generated open-loop traffic through the
+front door (DESIGN.md §15).
+
+Stands up a trained serving stack at any scale, compiles a
+:class:`~repro.traffic.TrafficConfig` (Poisson arrivals per simulated
+device, optional diurnal curve and flash crowd, onboard/update churn)
+into a schedule, and runs it through a
+:class:`~repro.pelican.service.ServiceFrontDoor` — admission control,
+micro-batching, and the latency/SLO book — over any combination of the
+serving axes (chaos policy, resilience, shards, workers, stores,
+stacked dispatch).  The ``serve-load`` CLI subcommand prints the
+report; ``benchmarks/test_service_load.py`` pins the micro-batching
+speedup.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.data.corpus import generate_corpus
+from repro.data.features import SpatialLevel
+from repro.eval.config import ExperimentScale
+from repro.eval.fleet import training_configs
+from repro.pelican.chaos import ChaosFleet, chaos_policy
+from repro.pelican.cluster import Cluster
+from repro.pelican.resilience import resilience_policy
+from repro.pelican.service import ServiceConfig, ServiceFrontDoor
+from repro.pelican.storage import make_blob_store
+from repro.pelican.system import Pelican, PelicanConfig
+from repro.traffic import FlashCrowd, RegimeTraffic, TrafficConfig, TrafficGenerator
+
+LEVEL = SpatialLevel.BUILDING
+
+
+@dataclass
+class ServiceLoadResult:
+    """Outcome of one generated service-load run."""
+
+    scale: str
+    regimes: Tuple[str, ...]
+    num_users: int
+    num_devices: int
+    events: int
+    policy: str
+    resilience: str
+    num_shards: int
+    workers: int
+    store: str
+    stacked: bool
+    wall_seconds: float
+    #: The full front-door signature (fleet books + ``service_*`` overlay).
+    signature: Dict[str, Any] = field(default_factory=dict)
+
+    def _svc(self, key: str) -> Any:
+        return self.signature[f"service_{key}"]
+
+    @property
+    def generated(self) -> int:
+        return self._svc("generated")
+
+    @property
+    def answered(self) -> int:
+        return self._svc("answered")
+
+    @property
+    def rejected(self) -> int:
+        return self._svc("rejected")
+
+    @property
+    def shed(self) -> int:
+        return self._svc("admitted") - self._svc("answered")
+
+    @property
+    def flushes(self) -> int:
+        return self._svc("flushes")
+
+    @property
+    def mean_flush_size(self) -> float:
+        return self._svc("admitted") / self.flushes if self.flushes else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self._svc("p50_latency")
+
+    @property
+    def p95(self) -> float:
+        return self._svc("p95_latency")
+
+    @property
+    def p99(self) -> float:
+        return self._svc("p99_latency")
+
+    @property
+    def slo_deadline(self) -> float:
+        return self._svc("slo_deadline")
+
+    @property
+    def slo_attainment(self) -> float:
+        return self._svc("slo_attainment")
+
+
+def build_service_workload(
+    scale: ExperimentScale,
+    regimes: Sequence[str] = ("campus",),
+    rate: float = 0.05,
+    horizon: float = 120.0,
+    devices_per_user: int = 4,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 0.0,
+    flash_rate: float = 0.0,
+    flash_start: float = 0.0,
+    flash_duration: float = 20.0,
+    update_prob: float = 0.0,
+    traffic_seed: Optional[int] = None,
+    k: int = 3,
+    fast_setup: bool = False,
+):
+    """Train a Pelican at ``scale`` and compile its generated workload.
+
+    Returns ``(pelican, training_report, schedule, num_devices)`` —
+    the trained orchestrator is *pristine* (no onboards; the schedule
+    carries them), so callers can deepcopy it under any serving stack.
+    """
+    general, personalization = training_configs(scale, fast_setup)
+    corpus = generate_corpus(scale.corpus)
+    pelican = Pelican(
+        corpus.spec(LEVEL),
+        PelicanConfig(
+            general=general,
+            personalization=personalization,
+            seed=scale.corpus.seed,
+        ),
+    )
+    train, _ = corpus.contributor_dataset(LEVEL).split_by_user(0.8)
+    training_report = pelican.initial_training(train)
+
+    splits = {
+        uid: corpus.user_dataset(uid, LEVEL).split(0.8) for uid in corpus.personal_ids
+    }
+    windows = {
+        uid: [w.history for w in holdout.windows] for uid, (_, holdout) in splits.items()
+    }
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+    if flash_rate > 0:
+        flash_crowds = (
+            FlashCrowd(start=flash_start, duration=flash_duration, rate=flash_rate),
+        )
+    traffic = TrafficConfig(
+        seed=scale.corpus.seed if traffic_seed is None else traffic_seed,
+        horizon=horizon,
+        regimes=tuple(
+            RegimeTraffic(
+                regime=name,
+                rate=rate,
+                diurnal_amplitude=diurnal_amplitude,
+                diurnal_period=diurnal_period,
+            )
+            for name in regimes
+        ),
+        flash_crowds=flash_crowds,
+        devices_per_user=devices_per_user,
+        include_onboards=True,
+        update_prob=update_prob,
+        k=k,
+    )
+    schedule = TrafficGenerator(traffic).compile(
+        windows,
+        onboard_data={uid: train for uid, (train, _) in splits.items()},
+        update_data={uid: train for uid, (train, _) in splits.items()},
+    )
+    return pelican, training_report, schedule, len(splits) * devices_per_user
+
+
+def run_service_load(
+    scale: ExperimentScale,
+    regimes: Sequence[str] = ("campus",),
+    rate: float = 0.05,
+    horizon: float = 120.0,
+    devices_per_user: int = 4,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 0.0,
+    flash_rate: float = 0.0,
+    flash_start: float = 0.0,
+    flash_duration: float = 20.0,
+    update_prob: float = 0.0,
+    traffic_seed: Optional[int] = None,
+    window: float = 0.05,
+    max_batch: int = 16,
+    queue_capacity: Optional[int] = 256,
+    policy: str = "none",
+    resilience: Optional[str] = None,
+    deadline: Optional[float] = None,
+    registry_capacity: Optional[int] = 64,
+    num_shards: int = 1,
+    placement: str = "hash",
+    workers: int = 0,
+    store: str = "memory",
+    stacked: bool = False,
+    fast_setup: bool = False,
+) -> ServiceLoadResult:
+    """One generated workload through the front door, end to end.
+
+    The serving stack mirrors the scenario-matrix cell construction
+    (:func:`repro.eval.scenarios.build_cell_fleet`) extended with the
+    stacked/workers/store axes; traffic compiles once and replays
+    deterministically, so the same arguments always produce the same
+    ``signature`` (only ``wall_seconds`` varies).
+    """
+    pelican, training_report, schedule, num_devices = build_service_workload(
+        scale,
+        regimes=regimes,
+        rate=rate,
+        horizon=horizon,
+        devices_per_user=devices_per_user,
+        diurnal_amplitude=diurnal_amplitude,
+        diurnal_period=diurnal_period,
+        flash_rate=flash_rate,
+        flash_start=flash_start,
+        flash_duration=flash_duration,
+        update_prob=update_prob,
+        traffic_seed=traffic_seed,
+        fast_setup=fast_setup,
+    )
+    res_policy = None
+    if resilience is not None and resilience != "none":
+        res_policy = resilience_policy(
+            resilience, seed=scale.corpus.seed, deadline=deadline
+        )
+    cp = chaos_policy(policy, seed=scale.corpus.seed)
+    if num_shards == 1:
+        if workers:
+            raise ValueError("workers > 0 requires num_shards > 1")
+        fleet: Any = ChaosFleet(
+            copy.deepcopy(pelican),
+            cp,
+            registry_capacity=registry_capacity,
+            registry_store=make_blob_store(store),
+            resilience=res_policy,
+            stacked=stacked,
+        )
+        fleet.report.cloud_compute += training_report
+    else:
+        fleet = Cluster.from_trained(
+            copy.deepcopy(pelican),
+            num_shards=num_shards,
+            placement=placement,
+            registry_capacity=registry_capacity,
+            policy=cp,
+            resilience=res_policy,
+            stacked=stacked,
+            workers=workers,
+            store=store,
+        )
+        fleet.report.training = fleet.report.training + training_report
+
+    front = ServiceFrontDoor(
+        fleet,
+        ServiceConfig(
+            window=window,
+            max_batch=max_batch,
+            queue_capacity=queue_capacity,
+            deadline=deadline,
+        ),
+    )
+    try:
+        start = time.perf_counter()
+        front.run(schedule)
+        wall_seconds = time.perf_counter() - start
+        signature = front.signature()
+    finally:
+        closer = getattr(fleet, "close", None)
+        if closer is not None:
+            closer()
+        else:
+            fleet_store = getattr(fleet, "_registry_store", None)
+            store_closer = getattr(fleet_store, "close", None)
+            if store_closer is not None:
+                store_closer()
+
+    return ServiceLoadResult(
+        scale=scale.name,
+        regimes=tuple(regimes),
+        num_users=fleet.num_users,
+        num_devices=num_devices,
+        events=len(schedule),
+        policy=policy,
+        resilience=resilience or "none",
+        num_shards=num_shards,
+        workers=workers,
+        store=store,
+        stacked=stacked,
+        wall_seconds=wall_seconds,
+        signature=signature,
+    )

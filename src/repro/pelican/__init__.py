@@ -13,7 +13,11 @@ N shards behind deterministic placement, with outage failover and
 aggregated accounting — and the resilience layer
 (:mod:`repro.pelican.resilience`, DESIGN.md §11): retry budgets with
 seeded backoff, per-shard circuit breakers, query deadlines with load
-shedding, and a graceful-degradation ladder.
+shedding, and a graceful-degradation ladder — fronted by the service
+layer (:mod:`repro.pelican.service`, DESIGN.md §15): an admission-control
+queue with a micro-batching window, typed request/response schemas,
+health/stats endpoints, and a per-request latency/SLO book joined into
+the signature only when the front door is active.
 """
 
 from repro.pelican.accounting import ClusterReport, totals_signature
@@ -106,6 +110,14 @@ from repro.pelican.resilience import (
     resilience_policy,
     shed_late_queries,
 )
+from repro.pelican.service import (
+    LatencyBook,
+    ServiceConfig,
+    ServiceFrontDoor,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceStats,
+)
 from repro.pelican.system import OnboardedUser, Pelican, PelicanConfig
 from repro.pelican.transport import Channel, TransferRecord
 from repro.pelican.updates import UpdateResult, update_personal_model
@@ -167,7 +179,13 @@ __all__ = [
     "PrivacyReport",
     "QueryStats",
     "ResourceReport",
+    "LatencyBook",
+    "ServiceConfig",
     "ServiceEndpoint",
+    "ServiceFrontDoor",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
     "TransferRecord",
     "UpdateResult",
     "WeightStack",

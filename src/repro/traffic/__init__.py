@@ -1,0 +1,21 @@
+"""Open-loop traffic generation for the serving stack (DESIGN.md §15).
+
+Compiles (regime, arrival model) traffic descriptions into ordinary
+:class:`~repro.pelican.clock.FleetSchedule`\\ s: seeded Poisson arrivals
+per simulated device, diurnal rate curves, flash-crowd bursts, and
+onboard/update churn — all bit-deterministic from one seed.
+"""
+
+from repro.traffic.generator import (
+    FlashCrowd,
+    RegimeTraffic,
+    TrafficConfig,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "FlashCrowd",
+    "RegimeTraffic",
+    "TrafficConfig",
+    "TrafficGenerator",
+]

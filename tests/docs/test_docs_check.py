@@ -33,8 +33,8 @@ def test_no_dead_local_links():
     assert docs_check.check_local_links() == []
 
 
-def test_design_defines_all_fourteen_sections():
-    assert docs_check.design_sections() == set(range(1, 15))
+def test_design_defines_all_fifteen_sections():
+    assert docs_check.design_sections() == set(range(1, 16))
 
 
 def test_readme_commands_extracted():

@@ -41,7 +41,13 @@ fleet layer advertises:
   returns bit-identical responses, per-endpoint ledgers, eviction logs,
   and ``FleetReport.signature()`` — stores are byte-transparent — and a
   2-shard outage run whose failover cold-loads come off the disk tier
-  matches the in-memory run exactly.
+  matches the in-memory run exactly;
+* **generator/front-door invariants** (DESIGN.md §15) — random
+  :class:`~repro.traffic.TrafficGenerator` configs compile to schedules
+  whose front-door runs match a one-query-at-a-time replay of the
+  admitted (rebatched) schedule exactly, conserve every query
+  (answered + shed + rejected == generated), and rerun bit-identically
+  on the same seed across the stacked × workers × store axes.
 
 The schedule count is env-tunable so CI can smoke a subset::
 
@@ -681,3 +687,212 @@ def test_generated_lifecycle_schedule_invariants(base, tiny_corpus, seed):
     rerun_fleet = Fleet(copy.deepcopy(pristine), registry_capacity=1)
     assert rerun_fleet.run(schedule) == responses
     assert rerun_fleet.report.signature() == fleet.report.signature()
+
+
+# ----------------------------------------------------------------------
+# Generator axis: random traffic configs through the front door
+# ----------------------------------------------------------------------
+def generate_traffic_run(splits, seed):
+    """One random (compiled schedule, admission config); everything —
+    regime knobs, flash crowds, churn, micro-batch window — derives from
+    ``seed``."""
+    from repro.pelican import ServiceConfig
+    from repro.traffic import (
+        FlashCrowd,
+        RegimeTraffic,
+        TrafficConfig,
+        TrafficGenerator,
+    )
+
+    rng = np.random.default_rng((37, seed))
+    regimes = tuple(
+        RegimeTraffic(
+            regime=name,
+            rate=float(rng.uniform(0.02, 0.2)),
+            diurnal_amplitude=float(rng.choice([0.0, rng.uniform(0.0, 0.9)])),
+            diurnal_period=float(rng.uniform(10.0, 40.0)),
+        )
+        for name in ["campus", "downtown"][: int(rng.integers(1, 3))]
+    )
+    flash_crowds = ()
+    if rng.random() < 0.5:
+        flash_crowds = (
+            FlashCrowd(
+                start=float(rng.uniform(0.0, 20.0)),
+                duration=float(rng.uniform(3.0, 10.0)),
+                rate=float(rng.uniform(0.2, 0.8)),
+            ),
+        )
+    config = TrafficConfig(
+        seed=int(rng.integers(0, 2**16)),
+        horizon=float(rng.uniform(20.0, 40.0)),
+        regimes=regimes,
+        flash_crowds=flash_crowds,
+        devices_per_user=int(rng.integers(1, 4)),
+        include_onboards=True,
+        onboard_spacing=float(rng.uniform(2.0, 6.0)),
+        update_prob=float(rng.uniform(0.0, 0.6)),
+        k=int(rng.integers(1, 5)),
+    )
+    train_data = {uid: train for uid, (train, _) in splits.items()}
+    schedule = TrafficGenerator(config).compile(
+        {
+            uid: [w.history for w in holdout.windows]
+            for uid, (_, holdout) in splits.items()
+        },
+        onboard_data=train_data,
+        update_data=train_data,
+    )
+    service = ServiceConfig(
+        window=float(rng.uniform(0.0, 0.4)),
+        max_batch=int(rng.integers(1, 9)),
+        queue_capacity=None if rng.random() < 0.5 else int(rng.integers(8, 64)),
+    )
+    return schedule, service
+
+
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_generator_front_door_parity_and_conservation(base, seed):
+    """A generated workload through the front door equals a looped
+    replay of the admitted (rebatched) schedule, and every generated
+    query is answered, shed, or rejected — nothing vanishes."""
+    from repro.pelican import ServiceFrontDoor
+
+    pristine, _, splits = base
+    schedule, service = generate_traffic_run(splits, seed)
+    num_queries = sum(1 for e in schedule.ordered() if e.kind is EventKind.QUERY)
+
+    front = ServiceFrontDoor(
+        Fleet(copy.deepcopy(pristine), registry_capacity=1), service
+    )
+    responses = front.run(schedule)
+    # Conservation: the front door on a resilience-free fleet never
+    # sheds, so answered + rejected must cover the workload.
+    assert front.stats.generated == num_queries
+    assert front.book.answered + front.shed + front.stats.rejected == num_queries
+    assert front.shed == 0
+    assert len(responses) == front.book.answered
+
+    # Parity: admission is deterministic, so an identically-configured
+    # door rebatches to the same schedule — whose one-query-at-a-time
+    # replay must match the batched front-door run exactly.
+    reference_front = ServiceFrontDoor(
+        Fleet(copy.deepcopy(pristine), registry_capacity=1), service
+    )
+    admitted = reference_front.admit(schedule)
+    reference = looped_replay(reference_front.fleet, admitted)
+    assert_parity(responses, reference)
+
+
+@pytest.mark.parametrize("store_kind", ["memory", "disk", "tiered"])
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_generator_store_axis_determinism(base, seed, store_kind, tmp_path):
+    """Front-door runs of a generated workload are bit-identical on
+    rerun, and byte-transparent across the registry-store axis."""
+    from repro.pelican import ServiceFrontDoor, make_blob_store
+
+    pristine, _, splits = base
+    schedule, service = generate_traffic_run(splits, seed)
+
+    def run(kind, tag):
+        store = make_blob_store(kind, directory=tmp_path / f"{kind}-{tag}")
+        fleet = Fleet(
+            copy.deepcopy(pristine), registry_capacity=1, registry_store=store
+        )
+        front = ServiceFrontDoor(fleet, service)
+        try:
+            return front.run(schedule), front.signature()
+        finally:
+            store.close()
+
+    reference = run("memory", "a")
+    assert reference[1]["service_answered"] > 0
+    assert run(store_kind, "b") == reference
+
+
+@pytest.mark.parametrize("stacked", [False, True], ids=["plain", "stacked"])
+@pytest.mark.parametrize("seed", range(NUM_LIFECYCLE_SCHEDULES))
+def test_generator_stacked_axis_determinism(base, seed, stacked):
+    """Same-seed front-door reruns are bit-identical with stacked
+    dispatch on or off, and the stacked run keeps exact ranking parity
+    (and an identical signature) with the per-model path."""
+    from repro.pelican import ServiceFrontDoor
+
+    pristine, _, splits = base
+    schedule, service = generate_traffic_run(splits, seed)
+
+    def run(use_stacked):
+        fleet = Fleet(
+            copy.deepcopy(pristine), registry_capacity=1, stacked=use_stacked
+        )
+        front = ServiceFrontDoor(fleet, service)
+        return front.run(schedule), front.signature()
+
+    responses, signature = run(stacked)
+    rerun_responses, rerun_signature = run(stacked)
+    assert rerun_responses == responses
+    assert rerun_signature == signature
+    if stacked:
+        plain_responses, plain_signature = run(False)
+        assert_stacked_parity(responses, plain_responses)
+        assert signature == plain_signature
+
+
+@pytest.mark.parametrize("seed", range(min(NUM_LIFECYCLE_SCHEDULES, 3)))
+def test_generator_workers_axis_determinism(base, seed):
+    """A generated workload through the front door of a 2-shard cluster
+    is bit-identical between serial and worker-process serving."""
+    from repro.pelican import ServiceFrontDoor, totals_signature
+
+    pristine, _, splits = base
+    schedule, service = generate_traffic_run(splits, seed)
+
+    def run(workers):
+        cluster = Cluster.from_trained(
+            copy.deepcopy(pristine),
+            num_shards=2,
+            registry_capacity=1,
+            workers=workers,
+        )
+        front = ServiceFrontDoor(cluster, service)
+        try:
+            return front.run(schedule), totals_signature(front.signature())
+        finally:
+            cluster.close()
+
+    serial = run(0)
+    assert serial[1]["service_answered"] > 0
+    assert run(2) == serial
+
+
+@pytest.mark.parametrize("seed", range(min(NUM_LIFECYCLE_SCHEDULES, 3)))
+def test_generator_chaos_resilience_conservation(base, seed):
+    """Generated traffic under hostile chaos + an active resilience
+    policy: front-door sheds and chaos sheds land in one counter, the
+    conservation identity holds, and reruns are bit-identical."""
+    from repro.pelican import ServiceFrontDoor
+
+    pristine, _, splits = base
+    schedule, service = generate_traffic_run(splits, seed)
+    num_queries = sum(1 for e in schedule.ordered() if e.kind is EventKind.QUERY)
+
+    def run():
+        fleet = ChaosFleet(
+            copy.deepcopy(pristine),
+            chaos_policy("hostile", seed=seed),
+            registry_capacity=1,
+            resilience=resilience_policy("default", seed=seed),
+        )
+        front = ServiceFrontDoor(fleet, service)
+        return front.run(schedule), front
+
+    responses, front = run()
+    assert front.stats.generated == num_queries
+    assert (
+        front.book.answered + front.shed + front.stats.rejected == num_queries
+    )
+    assert front.shed == front.fleet.resilience_stats.shed_queries
+
+    rerun_responses, rerun_front = run()
+    assert rerun_responses == responses
+    assert rerun_front.signature() == front.signature()
